@@ -1,0 +1,77 @@
+//! LAT-C / BASE: end-to-end consensus cost — asymmetric DAG-Rider
+//! (Algorithms 4–6) vs. the symmetric DAG-Rider baseline, across system
+//! sizes and trust topologies. Wall time per bounded execution (fixed wave
+//! budget, run to quiescence); the derived observables (waves per commit,
+//! message counts, simulated latency) are printed by
+//! `cargo run -p asym-bench --bin exp_waves` / `exp_latency`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asym_dag_rider::prelude::*;
+
+fn run_asym(t: &topology::Topology, waves: u64) -> u64 {
+    let report = Cluster::new(t.clone())
+        .adversary(Adversary::Random(1))
+        .waves(waves)
+        .blocks_per_process(1)
+        .run_asymmetric();
+    assert!(report.quiescent);
+    report.steps
+}
+
+fn run_sym(t: &topology::Topology, f: usize, waves: u64) -> u64 {
+    let report = Cluster::new(t.clone())
+        .adversary(Adversary::Random(1))
+        .waves(waves)
+        .blocks_per_process(1)
+        .run_baseline(f);
+    assert!(report.quiescent);
+    report.steps
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus-3-waves");
+    g.sample_size(10);
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        let t = topology::uniform_threshold(n, f);
+        g.bench_with_input(BenchmarkId::new("asym-dag-rider", n), &n, |b, _| {
+            b.iter(|| black_box(run_asym(&t, 3)))
+        });
+        g.bench_with_input(BenchmarkId::new("dag-rider-baseline", n), &n, |b, _| {
+            b.iter(|| black_box(run_sym(&t, f, 3)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus-topologies");
+    g.sample_size(10);
+    for t in [topology::ripple_unl(10, 8, 1), topology::stellar_tiers(10, 4, 1)] {
+        let name = t.name.clone();
+        g.bench_function(&name, |b| b.iter(|| black_box(run_asym(&t, 3))));
+    }
+    g.finish();
+}
+
+fn bench_crash_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus-with-crash");
+    g.sample_size(10);
+    let t = topology::uniform_threshold(7, 2);
+    g.bench_function("no-crash", |b| b.iter(|| black_box(run_asym(&t, 3))));
+    g.bench_function("two-crashes", |b| {
+        b.iter(|| {
+            let report = Cluster::new(t.clone())
+                .adversary(Adversary::Random(1))
+                .crash([5, 6])
+                .waves(3)
+                .run_asymmetric();
+            black_box(report.steps)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_topologies, bench_crash_overhead);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Cost of the DAG substrate: vertex insertion, strong-path queries (the
+//! commit rule's hot loop) and causal-history traversal (ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asym_core::Block;
+use asym_dag::{DagStore, Vertex, VertexId};
+use asym_quorum::{ProcessId, ProcessSet};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Fully connected DAG: n processes, `rounds` rounds.
+fn full_dag(n: usize, rounds: u64) -> DagStore<Block> {
+    let mut dag = DagStore::with_genesis(n, Block::default());
+    for r in 1..=rounds {
+        for i in 0..n {
+            dag.insert(Vertex::new(
+                pid(i),
+                r,
+                Block::new(vec![r * 1000 + i as u64]),
+                ProcessSet::full(n),
+                vec![],
+            ))
+            .unwrap();
+        }
+    }
+    dag
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag-insert");
+    for n in [4usize, 10, 30] {
+        g.bench_with_input(BenchmarkId::new("build-20-rounds", n), &n, |b, _| {
+            b.iter(|| black_box(full_dag(n, 20)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_strong_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag-strong-path");
+    for n in [4usize, 10, 30] {
+        let dag = full_dag(n, 40);
+        let from = VertexId::new(40, pid(0));
+        let to = VertexId::new(1, pid(n - 1));
+        g.bench_with_input(BenchmarkId::new("depth-40", n), &n, |b, _| {
+            b.iter(|| black_box(dag.strong_path(from, to)))
+        });
+        g.bench_with_input(BenchmarkId::new("reach-sources-wave", n), &n, |b, _| {
+            b.iter(|| black_box(dag.strong_reachable_sources(VertexId::new(8, pid(0)), 5)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_causal_history(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag-causal-history");
+    g.sample_size(30);
+    for n in [4usize, 10, 30] {
+        let dag = full_dag(n, 40);
+        let from = VertexId::new(40, pid(0));
+        g.bench_with_input(BenchmarkId::new("depth-40", n), &n, |b, _| {
+            b.iter(|| black_box(dag.causal_history(from).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_strong_path, bench_causal_history);
+criterion_main!(benches);

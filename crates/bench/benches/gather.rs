@@ -1,0 +1,86 @@
+//! LAT-G: cost of the gather protocols — the symmetric 3-round gather
+//! (Algorithm 1) vs. the constant-round asymmetric gather (Algorithm 3),
+//! which pays the ACK/READY/CONFIRM control layer for asymmetric soundness.
+//!
+//! Criterion reports wall time per full protocol execution (all processes to
+//! `ag-deliver`, simulation to quiescence); message counts are reported by
+//! `cargo run -p asym-bench --bin exp_latency`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asym_dag_rider::prelude::*;
+use asym_gather::{AsymGather, NaiveGather, SymGather};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn run_sym(n: usize, f: usize, seed: u64) -> u64 {
+    let procs: Vec<SymGather<u64>> = (0..n).map(|i| SymGather::new(pid(i), n, f)).collect();
+    let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
+    for i in 0..n {
+        sim.input(pid(i), i as u64);
+    }
+    let r = sim.run(u64::MAX);
+    assert!(r.quiescent);
+    r.steps
+}
+
+fn run_asym(t: &topology::Topology, seed: u64) -> u64 {
+    let procs: Vec<AsymGather<u64>> =
+        (0..t.n()).map(|i| AsymGather::new(pid(i), t.quorums.clone())).collect();
+    let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
+    for i in 0..t.n() {
+        sim.input(pid(i), i as u64);
+    }
+    let r = sim.run(u64::MAX);
+    assert!(r.quiescent);
+    r.steps
+}
+
+fn run_naive(t: &topology::Topology, seed: u64) -> u64 {
+    let procs: Vec<NaiveGather<u64>> =
+        (0..t.n()).map(|i| NaiveGather::new(pid(i), t.quorums.clone())).collect();
+    let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
+    for i in 0..t.n() {
+        sim.input(pid(i), i as u64);
+    }
+    sim.run(u64::MAX).steps
+}
+
+fn bench_gather_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather-full-run");
+    g.sample_size(10);
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        g.bench_with_input(BenchmarkId::new("algorithm1-symmetric", n), &n, |b, _| {
+            b.iter(|| black_box(run_sym(n, f, 1)))
+        });
+        let t = topology::uniform_threshold(n, f);
+        g.bench_with_input(BenchmarkId::new("algorithm3-asymmetric", n), &n, |b, _| {
+            b.iter(|| black_box(run_asym(&t, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("algorithm2-naive", n), &n, |b, _| {
+            b.iter(|| black_box(run_naive(&t, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gather_topologies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather-asym-topologies");
+    g.sample_size(10);
+    let fig1 = topology::Topology {
+        name: "fig1".into(),
+        fail_prone: asym_quorum::counterexample::fig1_fail_prone(),
+        quorums: asym_quorum::counterexample::fig1_quorums(),
+    };
+    for t in [topology::ripple_unl(10, 8, 1), topology::stellar_tiers(10, 4, 1), fig1] {
+        let name = t.name.clone();
+        g.bench_function(&name, |b| b.iter(|| black_box(run_asym(&t, 1))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gather_protocols, bench_gather_topologies);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Shared helpers for the benchmark suite and the experiment/figure
+//! regeneration binaries (see `EXPERIMENTS.md` for the experiment index).
+
+use asym_dag_rider::prelude::*;
+
+/// A labelled measurement row for plain-text experiment tables.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label (configuration).
+    pub label: String,
+    /// `(column name, value)` pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Renders rows as an aligned plain-text table.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap().max(12);
+    out.push_str(&format!("{:label_w$}", "config"));
+    for (name, _) in &rows[0].values {
+        out.push_str(&format!("  {name:>14}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + rows[0].values.len() * 16));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:label_w$}", r.label));
+        for (_, v) in &r.values {
+            if v.fract() == 0.0 && v.abs() < 1e12 {
+                out.push_str(&format!("  {:>14}", *v as i64));
+            } else {
+                out.push_str(&format!("  {v:>14.3}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The standard topology sweep used by several experiments.
+pub fn standard_topologies() -> Vec<topology::Topology> {
+    vec![
+        topology::uniform_threshold(4, 1),
+        topology::uniform_threshold(7, 2),
+        topology::uniform_threshold(10, 3),
+        topology::ripple_unl(10, 8, 1),
+        topology::stellar_tiers(10, 4, 1),
+        topology::Topology {
+            name: "figure-1(n=30)".into(),
+            fail_prone: asym_quorum::counterexample::fig1_fail_prone(),
+            quorums: asym_quorum::counterexample::fig1_quorums(),
+        },
+    ]
+}
+
+/// Runs asymmetric DAG-Rider and returns `(waves per commit, sent messages,
+/// simulated time)` — the observables of Lemma 4.4 and the latency claims.
+pub fn measure_asym(topo: &topology::Topology, waves: u64, seed: u64) -> (f64, u64, u64) {
+    let report = Cluster::new(topo.clone())
+        .adversary(Adversary::Latency { seed, min: 1, max: 20 })
+        .waves(waves)
+        .blocks_per_process(1)
+        .run_asymmetric();
+    (
+        report.waves_per_commit().unwrap_or(f64::INFINITY),
+        report.net.sent,
+        report.time,
+    )
+}
+
+/// Runs the symmetric baseline with threshold `f`; same observables.
+pub fn measure_sym(topo: &topology::Topology, f: usize, waves: u64, seed: u64) -> (f64, u64, u64) {
+    let report = Cluster::new(topo.clone())
+        .adversary(Adversary::Latency { seed, min: 1, max: 20 })
+        .waves(waves)
+        .blocks_per_process(1)
+        .run_baseline(f);
+    (
+        report.waves_per_commit().unwrap_or(f64::INFINITY),
+        report.net.sent,
+        report.time,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![
+            Row { label: "a".into(), values: vec![("x".into(), 1.0), ("y".into(), 2.5)] },
+            Row { label: "long-label".into(), values: vec![("x".into(), 3.0), ("y".into(), 4.0)] },
+        ];
+        let t = render_table("demo", &rows);
+        assert!(t.contains("demo"));
+        assert!(t.contains("long-label"));
+        assert!(t.contains("2.500"));
+    }
+
+    #[test]
+    fn standard_topologies_are_valid() {
+        for t in standard_topologies() {
+            assert!(t.fail_prone.satisfies_b3(), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn measurement_smoke() {
+        let t = topology::uniform_threshold(4, 1);
+        let (wpc, sent, time) = measure_asym(&t, 3, 1);
+        assert!(wpc >= 1.0);
+        assert!(sent > 0);
+        assert!(time > 0);
+        let (wpc, _, _) = measure_sym(&t, 1, 3, 1);
+        assert!(wpc >= 1.0);
+    }
+}

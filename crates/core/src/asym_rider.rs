@@ -1,0 +1,468 @@
+//! **Asymmetric DAG-Rider** — Algorithms 4, 5 and 6 of the paper: the first
+//! randomized asynchronous DAG-based consensus protocol with asymmetric
+//! quorums.
+//!
+//! Every 4-round wave executes the constant-round asymmetric gather
+//! (Algorithm 3) *structurally*: round 1 plays the candidate-`S` role, the
+//! round-2 vertices are the `DISTRIBUTE_S` step (each delivery is ACKed,
+//! Algorithm 6 line 142), the transition into round 3 — the `DISTRIBUTE_T`
+//! step — is gated on the ACK → READY → CONFIRM ladder (Algorithm 5), and
+//! round 4 corresponds to the `U` sets. The gather guarantee yields a common
+//! core of round-1 vertices in every wave, so the coin-elected leader is
+//! committable with probability at least `c(Q)/|P|` (Lemmas 4.3, 4.4).
+//!
+//! Differences from the symmetric baseline, per the paper §4.3:
+//!
+//! * **round change** — a round completes when the vertices of one of *my
+//!   quorums* are in my DAG (not `n − f` vertices);
+//! * **round 2 → 3 gating** — additionally requires CONFIRMs from one of my
+//!   quorums (`tReady`);
+//! * **commit rule** — the leader commits when all round-4 vertices of some
+//!   quorum `Q ∈ Q_j` (for *any* process `j`, Algorithm 6 line 148) have
+//!   strong paths to it.
+
+use std::collections::{HashMap, HashSet};
+
+use asym_broadcast::BcastMsg;
+use asym_crypto::CommonCoin;
+use asym_dag::{position_in_wave, round_of_wave, wave_of_round, DagStore, Vertex, VertexId, WaveId};
+use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
+use asym_sim::{Context, Protocol};
+
+use crate::dagcore::DagCore;
+use crate::ordering::{CommitOutcome, WaveCommitter};
+use crate::types::{Block, OrderedVertex, RiderConfig, RiderMetrics};
+
+/// Wire messages of asymmetric DAG-Rider: the arb layer carrying vertices,
+/// plus the per-wave ACK/READY/CONFIRM control ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsymRiderMsg {
+    /// Asymmetric-reliable-broadcast layer carrying DAG vertices.
+    Arb(BcastMsg<Vertex<Block>>),
+    /// Acknowledges the arb-delivery of the sender's round-2 vertex of
+    /// `wave` (point-to-point to the vertex creator).
+    Ack {
+        /// Wave the acknowledged round-2 vertex belongs to.
+        wave: WaveId,
+    },
+    /// The sender received ACKs from one of its quorums for `wave`.
+    Ready {
+        /// Wave this readiness concerns.
+        wave: WaveId,
+    },
+    /// The sender received READYs from a quorum (or CONFIRMs from a kernel)
+    /// for `wave`.
+    Confirm {
+        /// Wave this confirmation concerns.
+        wave: WaveId,
+    },
+}
+
+#[derive(Clone, Debug, Default)]
+struct WaveControl {
+    acks: ProcessSet,
+    readys: ProcessSet,
+    confirms: ProcessSet,
+    sent_ready: bool,
+    sent_confirm: bool,
+    t_ready: bool,
+}
+
+/// One process of asymmetric DAG-Rider (Algorithms 4–6).
+///
+/// *Input*: blocks to `aa-broadcast`. *Output*: [`OrderedVertex`] events in
+/// atomic-broadcast order. All cluster members must share the same
+/// `coin_seed` and asymmetric quorum system array.
+#[derive(Clone, Debug)]
+pub struct AsymDagRider {
+    core: DagCore,
+    quorums: AsymQuorumSystem,
+    committer: WaveCommitter,
+    coin: CommonCoin,
+    control: HashMap<WaveId, WaveControl>,
+    acked_vertices: HashSet<VertexId>,
+}
+
+impl AsymDagRider {
+    /// Creates an asymmetric DAG-Rider process.
+    pub fn new(
+        me: ProcessId,
+        quorums: AsymQuorumSystem,
+        coin_seed: u64,
+        config: RiderConfig,
+    ) -> Self {
+        let n = quorums.n();
+        AsymDagRider {
+            core: DagCore::new(me, quorums.clone(), config),
+            quorums,
+            committer: WaveCommitter::new(),
+            coin: CommonCoin::new(coin_seed, n),
+            control: HashMap::new(),
+            acked_vertices: HashSet::new(),
+        }
+    }
+
+    /// The local DAG (observer inspection).
+    pub fn dag(&self) -> &DagStore<Block> {
+        self.core.dag()
+    }
+
+    /// Execution counters.
+    pub fn metrics(&self) -> RiderMetrics {
+        self.core.metrics()
+    }
+
+    /// The last decided wave.
+    pub fn decided_wave(&self) -> WaveId {
+        self.committer.decided_wave()
+    }
+
+    /// Commit log of `(wave, leader)` pairs, in commit order.
+    pub fn commit_log(&self) -> &[(WaveId, VertexId)] {
+        self.committer.log()
+    }
+
+    /// The asymmetric commit rule (Algorithm 6, line 148): all round-4
+    /// vertices of some quorum of *any* process reach the leader by strong
+    /// paths.
+    fn commit_rule(
+        quorums: &AsymQuorumSystem,
+        dag: &DagStore<Block>,
+        leader: VertexId,
+    ) -> bool {
+        let w = wave_of_round(leader.round);
+        let r4 = round_of_wave(w, 4);
+        let committers: ProcessSet = dag
+            .sources_in_round(r4)
+            .iter()
+            .filter(|p| dag.strong_path(VertexId::new(r4, *p), leader))
+            .collect();
+        quorums.contains_quorum_for_any(&committers).is_some()
+    }
+
+    fn wave_ready(&mut self, w: WaveId, ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>) {
+        if w <= self.committer.decided_wave() {
+            return;
+        }
+        self.core.metrics_mut().waves_attempted += 1;
+        let quorums = self.quorums.clone();
+        let mut out = Vec::new();
+        let outcome = self.committer.wave_ready(
+            self.core.dag(),
+            &self.coin,
+            w,
+            |dag, leader| Self::commit_rule(&quorums, dag, leader),
+            &mut out,
+        );
+        match outcome {
+            CommitOutcome::NoLeaderVertex => {
+                self.core.metrics_mut().waves_skipped_no_leader += 1
+            }
+            CommitOutcome::RuleNotMet => self.core.metrics_mut().waves_skipped_rule += 1,
+            CommitOutcome::Committed { .. } => self.core.metrics_mut().waves_committed += 1,
+        }
+        for o in out {
+            self.core.metrics_mut().vertices_ordered += 1;
+            self.core.metrics_mut().txs_ordered += o.block.txs.len() as u64;
+            ctx.output(o);
+        }
+    }
+
+    /// The main loop of Algorithm 4 (lines 94–120), event-driven: advance
+    /// through as many rounds as the current DAG and control state allow.
+    fn advance(&mut self, ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>) {
+        loop {
+            self.core.drain_buffer();
+            let cur = self.core.round();
+            if cur >= self.core.config().max_round() {
+                break;
+            }
+            let sources = self.core.dag().sources_in_round(cur);
+            if !self.quorums.contains_quorum_for(self.core.me(), &sources) {
+                break;
+            }
+            // Lines 109–116: leaving round 2 of a wave additionally requires
+            // CONFIRMs from one of my quorums (tReady).
+            if cur > 0 && position_in_wave(cur) == 2 {
+                let w = wave_of_round(cur);
+                if !self.control.entry(w).or_default().t_ready {
+                    break;
+                }
+            }
+            // Lines 100–101: crossing a wave boundary runs the commit rule.
+            if cur > 0 && cur.is_multiple_of(4) {
+                self.wave_ready(cur / 4, ctx);
+            }
+            for m in self.core.advance_and_broadcast(cur + 1) {
+                ctx.broadcast(AsymRiderMsg::Arb(m));
+            }
+        }
+    }
+
+    /// Runs the ACK → READY → CONFIRM ladder of Algorithm 5 for `wave`.
+    fn control_step(&mut self, wave: WaveId, ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>) {
+        let me = self.core.me();
+        let amplify = self.core.config().kernel_amplification;
+        let ctrl = self.control.entry(wave).or_default();
+
+        // Line 123: READY after ACKs from one of my quorums.
+        if !ctrl.sent_ready && self.quorums.contains_quorum_for(me, &ctrl.acks) {
+            ctrl.sent_ready = true;
+            ctx.broadcast(AsymRiderMsg::Ready { wave });
+        }
+        // Line 127: CONFIRM after READYs from one of my quorums.
+        if !ctrl.sent_confirm && self.quorums.contains_quorum_for(me, &ctrl.readys) {
+            ctrl.sent_confirm = true;
+            ctx.broadcast(AsymRiderMsg::Confirm { wave });
+        }
+        // Line 131: CONFIRM after CONFIRMs from one of my kernels.
+        if amplify && !ctrl.sent_confirm && self.quorums.hits_kernel_for(me, &ctrl.confirms) {
+            ctrl.sent_confirm = true;
+            ctx.broadcast(AsymRiderMsg::Confirm { wave });
+        }
+        // Line 135: tReady after CONFIRMs from one of my quorums.
+        if !ctrl.t_ready && self.quorums.contains_quorum_for(me, &ctrl.confirms) {
+            ctrl.t_ready = true;
+        }
+    }
+}
+
+impl Protocol for AsymDagRider {
+    type Msg = AsymRiderMsg;
+    type Input = Block;
+    type Output = OrderedVertex;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        self.advance(ctx);
+    }
+
+    fn on_input(&mut self, block: Block, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        self.core.enqueue_block(block);
+        self.advance(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        match msg {
+            AsymRiderMsg::Arb(inner) => {
+                // Line 140: accept a vertex only if its strong edges contain
+                // a quorum of some process's quorum system.
+                let quorums = self.quorums.clone();
+                let (out, fresh) = self.core.handle_arb(from, inner, |v| {
+                    quorums.contains_quorum_for_any(v.strong_edges()).is_some()
+                });
+                for m in out {
+                    ctx.broadcast(AsymRiderMsg::Arb(m));
+                }
+                // Line 142: ACK the creator of every delivered round-2
+                // vertex (at most once per vertex).
+                for vid in fresh {
+                    if position_in_wave(vid.round) == 2 && self.acked_vertices.insert(vid) {
+                        let wave = wave_of_round(vid.round);
+                        ctx.send(vid.source, AsymRiderMsg::Ack { wave });
+                    }
+                }
+            }
+            AsymRiderMsg::Ack { wave } => {
+                self.control.entry(wave).or_default().acks.insert(from);
+                self.control_step(wave, ctx);
+            }
+            AsymRiderMsg::Ready { wave } => {
+                self.control.entry(wave).or_default().readys.insert(from);
+                self.control_step(wave, ctx);
+            }
+            AsymRiderMsg::Confirm { wave } => {
+                self.control.entry(wave).or_default().confirms.insert(from);
+                self.control_step(wave, ctx);
+            }
+        }
+        self.advance(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_quorum::{maximal_guild, topology};
+    use asym_sim::{scheduler, FaultMode, Simulation};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn cluster(t: &topology::Topology, waves: WaveId) -> Vec<AsymDagRider> {
+        let config = RiderConfig { max_waves: waves, ..Default::default() };
+        (0..t.n())
+            .map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), 42, config))
+            .collect()
+    }
+
+    fn check_total_order(outputs: &[Vec<OrderedVertex>]) {
+        for a in outputs {
+            for b in outputs {
+                let common = a.len().min(b.len());
+                for k in 0..common {
+                    assert_eq!(a[k].id, b[k].id, "total order violated at position {k}");
+                }
+            }
+        }
+    }
+
+    /// Runs the protocol over a topology with crashes; checks agreement,
+    /// total order, integrity and progress for guild members.
+    fn run_and_check(
+        t: &topology::Topology,
+        crashed: &[usize],
+        seed: u64,
+        waves: WaveId,
+    ) -> Vec<Vec<OrderedVertex>> {
+        let faulty: ProcessSet = crashed.iter().copied().collect();
+        let guild = maximal_guild(&t.fail_prone, &t.quorums, &faulty)
+            .expect("test topology must retain a guild");
+        let mut sim = Simulation::new(cluster(t, waves), scheduler::Random::new(seed));
+        for c in crashed {
+            sim = sim.with_fault(pid(*c), FaultMode::CrashedFromStart);
+        }
+        for i in 0..t.n() {
+            if !crashed.contains(&i) {
+                sim.input(pid(i), Block::new(vec![7000 + i as u64]));
+            }
+        }
+        let report = sim.run(200_000_000);
+        assert!(report.quiescent, "{} seed {seed}: did not quiesce", t.name);
+
+        let outputs: Vec<Vec<OrderedVertex>> =
+            (0..t.n()).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+        let guild_outputs: Vec<Vec<OrderedVertex>> = guild
+            .iter()
+            .map(|g| outputs[g.index()].clone())
+            .collect();
+        check_total_order(&guild_outputs);
+        // Progress: guild members commit within the wave budget.
+        for g in &guild {
+            assert!(
+                !outputs[g.index()].is_empty(),
+                "{} seed {seed}: guild member {g} ordered nothing",
+                t.name
+            );
+        }
+        // Integrity: no duplicates.
+        for o in &outputs {
+            let mut seen = HashSet::new();
+            for v in o {
+                assert!(seen.insert(v.id), "duplicate delivery of {}", v.id);
+            }
+        }
+        outputs
+    }
+
+    #[test]
+    fn threshold_topology_commits_and_agrees() {
+        let t = topology::uniform_threshold(4, 1);
+        for seed in 0..4 {
+            run_and_check(&t, &[], seed, 6);
+        }
+    }
+
+    #[test]
+    fn threshold_with_crash() {
+        let t = topology::uniform_threshold(4, 1);
+        for seed in 0..3 {
+            run_and_check(&t, &[3], seed, 8);
+        }
+    }
+
+    #[test]
+    fn seven_processes_two_crashes() {
+        let t = topology::uniform_threshold(7, 2);
+        run_and_check(&t, &[5, 6], 1, 8);
+    }
+
+    #[test]
+    fn ripple_topology_commits() {
+        let t = topology::ripple_unl(10, 8, 1);
+        for seed in 0..2 {
+            run_and_check(&t, &[], seed, 6);
+        }
+    }
+
+    #[test]
+    fn ripple_topology_with_crash() {
+        let t = topology::ripple_unl(10, 8, 1);
+        run_and_check(&t, &[4], 3, 8);
+    }
+
+    #[test]
+    fn stellar_topology_with_leaf_crashes() {
+        let t = topology::stellar_tiers(8, 4, 1);
+        run_and_check(&t, &[6, 7], 2, 8);
+    }
+
+    #[test]
+    fn validity_blocks_eventually_ordered() {
+        let t = topology::uniform_threshold(4, 1);
+        let outputs = run_and_check(&t, &[], 11, 8);
+        for (i, out) in outputs.iter().enumerate() {
+            let txs: Vec<u64> = out.iter().flat_map(|o| o.block.txs.clone()).collect();
+            for tx in 7000..7004 {
+                assert!(txs.contains(&tx), "process {i} missing tx {tx}: {txs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let t = topology::uniform_threshold(4, 1);
+        let a = run_and_check(&t, &[], 5, 5);
+        let b = run_and_check(&t, &[], 5, 5);
+        assert_eq!(a, b, "same seed must replay identically");
+    }
+
+    #[test]
+    fn outputs_respect_causality() {
+        // A vertex is always delivered after its whole (non-genesis) causal
+        // history: commits deliver leader histories oldest-wave-first and
+        // sorted within a commit, so every parent precedes its child.
+        let t = topology::uniform_threshold(4, 1);
+        let mut sim = Simulation::new(cluster(&t, 6), scheduler::Random::new(2));
+        for i in 0..4 {
+            sim.input(pid(i), Block::new(vec![i as u64]));
+        }
+        assert!(sim.run(200_000_000).quiescent);
+        for i in 0..4 {
+            let out = sim.outputs(pid(i));
+            let dag = sim.process(pid(i)).dag();
+            let pos: HashMap<VertexId, usize> =
+                out.iter().enumerate().map(|(k, o)| (o.id, k)).collect();
+            for o in out {
+                let v = dag.get(o.id).expect("delivered vertices are stored");
+                for parent in v.parents() {
+                    if parent.round == 0 {
+                        continue;
+                    }
+                    let pp = pos.get(&parent).unwrap_or_else(|| {
+                        panic!("process {i}: parent {parent} of {} not delivered", o.id)
+                    });
+                    assert!(pp < &pos[&o.id], "process {i}: {parent} after {}", o.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_topology_runs() {
+        // The 30-process counterexample system is a valid quorum system; the
+        // full consensus protocol must run on it (this is the paper's own
+        // setting: all processes correct).
+        let t = topology::Topology {
+            name: "figure-1".into(),
+            fail_prone: asym_quorum::counterexample::fig1_fail_prone(),
+            quorums: asym_quorum::counterexample::fig1_quorums(),
+        };
+        run_and_check(&t, &[], 1, 6);
+    }
+}

@@ -1,0 +1,366 @@
+//! Vertex lifecycle shared by both DAG-Rider variants: reliable-broadcast
+//! dissemination, buffering until the causal history is complete, insertion,
+//! and new-vertex creation with strong/weak edges (Algorithm 4, lines 78–98
+//! and Algorithm 6, lines 137–143).
+
+use std::collections::{HashSet, VecDeque};
+
+use asym_broadcast::{BcastMsg, BroadcastHub};
+use asym_dag::{DagStore, Round, Vertex, VertexId};
+use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
+
+use crate::types::{Block, RiderConfig, RiderMetrics};
+
+/// The DAG-construction engine of one process: owns the local DAG, the
+/// arb hub for vertex dissemination, the insertion buffer and the block
+/// queue. The protocol variants supply the validation and round-advance
+/// rules.
+#[derive(Clone, Debug)]
+pub struct DagCore {
+    me: ProcessId,
+    n: usize,
+    hub: BroadcastHub<Vertex<Block>>,
+    dag: DagStore<Block>,
+    buffer: Vec<Vertex<Block>>,
+    round: Round,
+    blocks: VecDeque<Block>,
+    config: RiderConfig,
+    metrics: RiderMetrics,
+}
+
+impl DagCore {
+    /// Creates the engine; the DAG starts with the hard-coded genesis round
+    /// (one round-0 vertex per process).
+    pub fn new(me: ProcessId, quorums: AsymQuorumSystem, config: RiderConfig) -> Self {
+        let n = quorums.n();
+        DagCore {
+            me,
+            n,
+            hub: BroadcastHub::new(me, quorums),
+            dag: DagStore::with_genesis(n, Block::default()),
+            buffer: Vec::new(),
+            round: 0,
+            blocks: VecDeque::new(),
+            config,
+            metrics: RiderMetrics::default(),
+        }
+    }
+
+    /// This process's identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The local DAG (read-only).
+    pub fn dag(&self) -> &DagStore<Block> {
+        &self.dag
+    }
+
+    /// Current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Execution counters.
+    pub fn metrics(&self) -> RiderMetrics {
+        let mut m = self.metrics;
+        m.round = self.round;
+        m
+    }
+
+    /// Mutable access to the counters (for the protocol variants).
+    pub fn metrics_mut(&mut self) -> &mut RiderMetrics {
+        &mut self.metrics
+    }
+
+    /// Number of buffered (not yet insertable) vertices.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> RiderConfig {
+        self.config
+    }
+
+    /// Enqueues a client block (`aa-broadcast`).
+    pub fn enqueue_block(&mut self, block: Block) {
+        self.blocks.push_back(block);
+    }
+
+    /// Handles an arb-layer message carrying vertices. Valid deliveries are
+    /// buffered; `validate` is the variant-specific strong-edge rule
+    /// (Algorithm 6, line 140). Returns the arb messages to broadcast and
+    /// the vertices delivered in this step (already buffered).
+    pub fn handle_arb(
+        &mut self,
+        from: ProcessId,
+        msg: BcastMsg<Vertex<Block>>,
+        validate: impl Fn(&Vertex<Block>) -> bool,
+    ) -> (Vec<BcastMsg<Vertex<Block>>>, Vec<VertexId>) {
+        let (out, deliveries) = self.hub.on_message(from, msg);
+        let mut fresh = Vec::new();
+        for d in deliveries {
+            let v = d.value;
+            // Authenticated identity: the vertex must claim exactly the arb
+            // instance it travelled in.
+            if v.source() != d.origin || v.round() != d.tag {
+                continue;
+            }
+            if v.round() == 0 {
+                continue; // genesis is hard-coded, never broadcast
+            }
+            if !validate(&v) {
+                continue;
+            }
+            fresh.push(v.id());
+            self.buffer.push(v);
+        }
+        (out, fresh)
+    }
+
+    /// Moves every buffered vertex whose round is `≤ current round` and whose
+    /// full causal history is present into the DAG (Algorithm 4, lines
+    /// 95–98). Loops to a fixpoint; returns `true` if anything was inserted.
+    pub fn drain_buffer(&mut self) -> bool {
+        let mut progressed = false;
+        loop {
+            let mut inserted_one = false;
+            let mut i = 0;
+            while i < self.buffer.len() {
+                let v = &self.buffer[i];
+                if v.round() <= self.round && self.dag.parents_present(v) {
+                    let v = self.buffer.swap_remove(i);
+                    match self.dag.insert(v) {
+                        Ok(()) => inserted_one = true,
+                        Err(asym_dag::DagError::Duplicate(_)) => {}
+                        Err(e) => unreachable!("parents checked: {e}"),
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if !inserted_one {
+                break;
+            }
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Creates, stores and returns this process's vertex for `round`,
+    /// together with the arb messages disseminating it (Algorithm 4,
+    /// `createNewVertex` + `arb-broadcast`). Advances the local round
+    /// counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for a round other than `self.round() + 1`, or past
+    /// the configured round bound.
+    pub fn advance_and_broadcast(&mut self, round: Round) -> Vec<BcastMsg<Vertex<Block>>> {
+        assert_eq!(round, self.round + 1, "rounds advance one at a time");
+        assert!(round <= self.config.max_round(), "past configured horizon");
+        self.round = round;
+        // Without filler blocks the paper's `wait until ¬empty()` would
+        // block here; both configurations fall back to an empty block to
+        // keep the simulation live (documented deviation).
+        let block = self.blocks.pop_front().unwrap_or_default();
+        let strong = self.dag.sources_in_round(round - 1);
+        let weak = self.compute_weak_edges(round, &strong);
+        let v = Vertex::new(self.me, round, block, strong, weak);
+        self.metrics.vertices_created += 1;
+        // Locally store via the buffer so self-delivery is not required
+        // before referencing our own vertex.
+        self.buffer.push(v.clone());
+        self.drain_buffer();
+        self.hub.broadcast(round, v)
+    }
+
+    /// `setWeakEdges` (Algorithm 4, lines 84–88): weak edges to every vertex
+    /// in rounds `1..round−1` not already reachable from the strong parents.
+    fn compute_weak_edges(&self, round: Round, strong: &ProcessSet) -> Vec<VertexId> {
+        if round < 3 {
+            return Vec::new();
+        }
+        // Everything reachable from the strong parents.
+        let mut reach: HashSet<VertexId> = HashSet::new();
+        let mut queue: VecDeque<VertexId> = strong
+            .iter()
+            .map(|s| VertexId::new(round - 1, s))
+            .collect();
+        reach.extend(queue.iter().copied());
+        while let Some(cur) = queue.pop_front() {
+            if let Some(v) = self.dag.get(cur) {
+                for p in v.parents() {
+                    if reach.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        let mut weak = Vec::new();
+        for r in (1..round - 1).rev() {
+            for v in self.dag.vertices_in_round(r) {
+                let id = v.id();
+                if reach.contains(&id) {
+                    continue;
+                }
+                weak.push(id);
+                // The new weak edge makes id's causal history reachable too.
+                let mut queue: VecDeque<VertexId> = VecDeque::new();
+                queue.push_back(id);
+                reach.insert(id);
+                while let Some(cur) = queue.pop_front() {
+                    if let Some(v) = self.dag.get(cur) {
+                        for p in v.parents() {
+                            if reach.insert(p) {
+                                queue.push_back(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        weak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_quorum::topology;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn core(i: usize) -> DagCore {
+        let t = topology::uniform_threshold(4, 1);
+        DagCore::new(pid(i), t.quorums, RiderConfig::default())
+    }
+
+    #[test]
+    fn genesis_preloaded() {
+        let c = core(0);
+        assert_eq!(c.dag().len(), 4);
+        assert_eq!(c.dag().sources_in_round(0), ProcessSet::full(4));
+        assert_eq!(c.round(), 0);
+    }
+
+    #[test]
+    fn advance_creates_and_self_inserts() {
+        let mut c = core(0);
+        c.enqueue_block(Block::new(vec![42]));
+        let msgs = c.advance_and_broadcast(1);
+        assert_eq!(msgs.len(), 1, "one SEND to all");
+        assert_eq!(c.round(), 1);
+        let own = c.dag().get(VertexId::new(1, pid(0))).expect("own vertex stored");
+        assert_eq!(own.block().txs, vec![42]);
+        assert_eq!(own.strong_edges().len(), 4, "references all genesis vertices");
+        assert_eq!(c.metrics().vertices_created, 1);
+    }
+
+    #[test]
+    fn empty_queue_creates_filler_block() {
+        let mut c = core(0);
+        c.advance_and_broadcast(1);
+        let own = c.dag().get(VertexId::new(1, pid(0))).unwrap();
+        assert!(own.block().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one at a time")]
+    fn rounds_cannot_skip() {
+        let mut c = core(0);
+        c.advance_and_broadcast(2);
+    }
+
+    #[test]
+    fn future_vertices_stay_buffered_until_round_reached() {
+        let mut a = core(0);
+        let mut b = core(1);
+        // b advances to round 1; its vertex reaches a through the arb layer.
+        let msgs = b.advance_and_broadcast(1);
+        let mut inflight: Vec<(ProcessId, BcastMsg<Vertex<Block>>)> =
+            msgs.into_iter().map(|m| (pid(1), m)).collect();
+        // A crude arb pump: deliver everything to `a` (and echo back a's own
+        // responses as if the other three processes behaved identically).
+        let mut fresh = Vec::new();
+        while let Some((from, m)) = inflight.pop() {
+            let (out, f) = a.handle_arb(from, m, |_| true);
+            fresh.extend(f);
+            for m in out {
+                // Simulate the other 3 processes sending the same message.
+                for i in 0..4 {
+                    if let BcastMsg::Echo { .. } | BcastMsg::Ready { .. } = &m {
+                        inflight.push((pid(i), m.clone()));
+                    }
+                }
+            }
+        }
+        assert_eq!(fresh.len(), 1, "vertex delivered by arb");
+        // a is still at round 0: round-1 vertex is insertable only after a
+        // advances... per Algorithm 4 the bound is `v.round ≤ r`; round 1 > 0.
+        assert_eq!(a.buffered(), 1);
+        assert!(!a.dag().contains(VertexId::new(1, pid(1))));
+        a.advance_and_broadcast(1);
+        assert!(a.drain_buffer() || a.dag().contains(VertexId::new(1, pid(1))));
+        assert!(a.dag().contains(VertexId::new(1, pid(1))));
+    }
+
+    #[test]
+    fn vertex_identity_must_match_arb_instance() {
+        let mut a = core(0);
+        // A vertex claiming source p2 travelling in p1's arb instance is
+        // discarded even when the arb layer delivers it.
+        let forged = Vertex::new(pid(2), 1, Block::default(), ProcessSet::full(4), vec![]);
+        // Drive a's hub directly to delivery: 3 echoes + 3 readies.
+        let msgs: Vec<BcastMsg<Vertex<Block>>> = vec![
+            BcastMsg::Echo { origin: pid(1), tag: 1, value: forged.clone() },
+            BcastMsg::Ready { origin: pid(1), tag: 1, value: forged.clone() },
+        ];
+        let mut fresh_total = 0;
+        for m in &msgs {
+            for s in 0..4 {
+                let (_, fresh) = a.handle_arb(pid(s), m.clone(), |_| true);
+                fresh_total += fresh.len();
+            }
+        }
+        assert_eq!(fresh_total, 0, "mismatched identity must be dropped");
+    }
+
+    #[test]
+    fn weak_edges_cover_unreachable_older_vertices() {
+        // Build: p0 references only p0's chain strongly; p3's round-1 vertex
+        // exists but is never referenced → becomes a weak edge at round 3.
+        let t = topology::uniform_threshold(4, 1);
+        let mut c = DagCore::new(
+            pid(0),
+            t.quorums,
+            RiderConfig { allow_empty_blocks: true, ..Default::default() },
+        );
+        c.advance_and_broadcast(1);
+        // Hand-insert p3's round-1 vertex (bypassing arb for the test).
+        c.buffer.push(Vertex::new(pid(3), 1, Block::default(), ProcessSet::full(4), vec![]));
+        c.drain_buffer();
+        c.advance_and_broadcast(2); // strong edges = {p0, p3} (both in round 1)
+        c.advance_and_broadcast(3);
+        let v3 = c.dag().get(VertexId::new(3, pid(0))).unwrap();
+        // Round-2 has only p0's vertex; its strong edges cover rounds 1.
+        // Everything is reachable → no weak edges needed.
+        assert!(v3.weak_edges().is_empty());
+
+        // Now insert p2's round-1 vertex late: the round-4 vertex must weakly
+        // reference it (not reachable through p0's chain).
+        c.buffer.push(Vertex::new(pid(2), 1, Block::default(), ProcessSet::full(4), vec![]));
+        c.drain_buffer();
+        c.advance_and_broadcast(4);
+        let v4 = c.dag().get(VertexId::new(4, pid(0))).unwrap();
+        assert_eq!(v4.weak_edges(), &[VertexId::new(1, pid(2))]);
+    }
+}

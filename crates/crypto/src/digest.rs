@@ -1,0 +1,136 @@
+//! 256-bit digests used as content identities (DAG vertices, coin values).
+
+use core::fmt;
+
+/// A 32-byte content digest.
+///
+/// Produced by [`Sha256`](crate::Sha256); used as the identity of DAG
+/// vertices and as raw coin material.
+///
+/// # Examples
+///
+/// ```
+/// use asym_crypto::{sha256, Digest};
+///
+/// let d = sha256(b"vertex");
+/// assert_eq!(d, Digest::from_hex(&d.to_hex()).unwrap());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest (placeholder / genesis marker).
+    pub const ZERO: Digest = Digest([0; 32]);
+
+    /// Wraps raw bytes as a digest.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Interprets the first 8 bytes as a big-endian `u64` — handy for
+    /// deriving uniform pseudo-random values from a digest.
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Interprets the first 16 bytes as a big-endian `u128`.
+    pub fn to_u128(&self) -> u128 {
+        u128::from_be_bytes(self.0[..16].try_into().expect("16 bytes"))
+    }
+
+    /// Lowercase hex encoding (64 chars).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a 64-char hex string.
+    ///
+    /// Returns `None` on wrong length or non-hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Abbreviated form for logs; full form via {:?} or to_hex().
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("abc"), None);
+        assert_eq!(Digest::from_hex(&"zz".repeat(32)), None);
+    }
+
+    #[test]
+    fn zero_digest() {
+        assert_eq!(Digest::ZERO.to_hex(), "0".repeat(64));
+        assert_eq!(Digest::ZERO.to_u64(), 0);
+    }
+
+    #[test]
+    fn numeric_views_consistent() {
+        let d = sha256(b"x");
+        assert_eq!(d.to_u64() as u128, d.to_u128() >> 64);
+    }
+
+    #[test]
+    fn display_is_abbreviated() {
+        let d = sha256(b"abc");
+        let s = d.to_string();
+        assert!(s.ends_with('…'));
+        assert_eq!(s.len(), "ba7816bf".len() + '…'.len_utf8());
+    }
+}

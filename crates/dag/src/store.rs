@@ -1,0 +1,400 @@
+//! The round-indexed DAG store with reachability queries.
+//!
+//! The store enforces the invariant both DAG-Rider variants rely on: a vertex
+//! is inserted only after its entire causal history is present (Algorithm 4,
+//! line 96). Under that invariant, reachability queries never encounter
+//! dangling references.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use asym_quorum::{ProcessId, ProcessSet};
+
+use crate::vertex::{Round, Vertex, VertexId};
+
+/// Errors returned by [`DagStore::insert`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DagError {
+    /// A vertex with the same `(source, round)` identity is already stored.
+    Duplicate(VertexId),
+    /// A referenced parent vertex is missing from the store.
+    MissingParent {
+        /// The vertex being inserted.
+        vertex: VertexId,
+        /// The absent parent.
+        parent: VertexId,
+    },
+}
+
+impl core::fmt::Display for DagError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DagError::Duplicate(v) => write!(f, "vertex {v} already present"),
+            DagError::MissingParent { vertex, parent } => {
+                write!(f, "vertex {vertex} references missing parent {parent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A local certified DAG: rounds of vertices, one per source, with
+/// strong/weak-edge reachability queries.
+///
+/// # Examples
+///
+/// ```
+/// use asym_dag::{DagStore, Vertex, VertexId};
+/// use asym_quorum::{ProcessId, ProcessSet};
+///
+/// let mut dag: DagStore<Vec<u8>> = DagStore::with_genesis(3, Vec::new());
+/// let v = Vertex::new(
+///     ProcessId::new(0),
+///     1,
+///     vec![1],
+///     ProcessSet::from_indices([0, 1, 2]),
+///     vec![],
+/// );
+/// dag.insert(v)?;
+/// assert!(dag.contains(VertexId::new(1, ProcessId::new(0))));
+/// # Ok::<(), asym_dag::DagError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DagStore<B> {
+    rounds: BTreeMap<Round, BTreeMap<ProcessId, Vertex<B>>>,
+    len: usize,
+}
+
+impl<B> DagStore<B> {
+    /// Creates an empty store (no genesis).
+    pub fn new() -> Self {
+        DagStore { rounds: BTreeMap::new(), len: 0 }
+    }
+
+    /// Creates a store pre-populated with round-0 genesis vertices for all
+    /// `n` processes, each carrying a clone of `genesis_block` (Algorithm 4,
+    /// line 67: "DAG\[0\] ← hardcoded quorum of vertices").
+    pub fn with_genesis(n: usize, genesis_block: B) -> Self
+    where
+        B: Clone,
+    {
+        let mut store = DagStore::new();
+        for i in 0..n {
+            store
+                .insert(Vertex::genesis(ProcessId::new(i), genesis_block.clone()))
+                .expect("fresh store accepts genesis");
+        }
+        store
+    }
+
+    /// Number of stored vertices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no vertex is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Highest round containing at least one vertex (`None` when empty).
+    pub fn max_round(&self) -> Option<Round> {
+        self.rounds.iter().rev().find(|(_, m)| !m.is_empty()).map(|(r, _)| *r)
+    }
+
+    /// Inserts a vertex.
+    ///
+    /// # Errors
+    ///
+    /// [`DagError::Duplicate`] if the identity is taken;
+    /// [`DagError::MissingParent`] if any strong or weak edge references an
+    /// absent vertex (callers buffer such vertices — Algorithm 4 line 95).
+    pub fn insert(&mut self, vertex: Vertex<B>) -> Result<(), DagError> {
+        let id = vertex.id();
+        if self.contains(id) {
+            return Err(DagError::Duplicate(id));
+        }
+        for parent in vertex.parents() {
+            if !self.contains(parent) {
+                return Err(DagError::MissingParent { vertex: id, parent });
+            }
+        }
+        self.rounds.entry(id.round).or_default().insert(id.source, vertex);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if all parents of `vertex` are present (the insert
+    /// precondition).
+    pub fn parents_present(&self, vertex: &Vertex<B>) -> bool {
+        vertex.parents().all(|p| self.contains(p))
+    }
+
+    /// `true` if the identified vertex is stored.
+    pub fn contains(&self, id: VertexId) -> bool {
+        self.rounds.get(&id.round).is_some_and(|m| m.contains_key(&id.source))
+    }
+
+    /// Fetches a vertex by identity.
+    pub fn get(&self, id: VertexId) -> Option<&Vertex<B>> {
+        self.rounds.get(&id.round).and_then(|m| m.get(&id.source))
+    }
+
+    /// The sources with a vertex in `round`.
+    pub fn sources_in_round(&self, round: Round) -> ProcessSet {
+        self.rounds
+            .get(&round)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterates over the vertices of `round` in source order.
+    pub fn vertices_in_round(&self, round: Round) -> impl Iterator<Item = &Vertex<B>> {
+        self.rounds.get(&round).into_iter().flat_map(|m| m.values())
+    }
+
+    /// `true` if there is a path from `from` to `to` following **strong edges
+    /// only** (edges between consecutive rounds) — the paper's
+    /// `strong_path(u, v)`.
+    pub fn strong_path(&self, from: VertexId, to: VertexId) -> bool {
+        if from == to {
+            return true;
+        }
+        if from.round <= to.round {
+            return false;
+        }
+        // Walk down one round at a time, tracking reachable sources.
+        let mut frontier = ProcessSet::singleton(from.source);
+        let mut round = from.round;
+        while round > to.round {
+            let mut next = ProcessSet::new();
+            if let Some(m) = self.rounds.get(&round) {
+                for s in &frontier {
+                    if let Some(v) = m.get(&s) {
+                        next.union_with(v.strong_edges());
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            frontier = next;
+            round -= 1;
+        }
+        frontier.contains(to.source)
+    }
+
+    /// The sources of round-`target_round` vertices reachable from `from`
+    /// via strong edges (bulk form of [`DagStore::strong_path`]).
+    pub fn strong_reachable_sources(&self, from: VertexId, target_round: Round) -> ProcessSet {
+        if target_round > from.round {
+            return ProcessSet::new();
+        }
+        if target_round == from.round {
+            return ProcessSet::singleton(from.source);
+        }
+        let mut frontier = ProcessSet::singleton(from.source);
+        let mut round = from.round;
+        while round > target_round {
+            let mut next = ProcessSet::new();
+            if let Some(m) = self.rounds.get(&round) {
+                for s in &frontier {
+                    if let Some(v) = m.get(&s) {
+                        next.union_with(v.strong_edges());
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+            round -= 1;
+        }
+        frontier
+    }
+
+    /// `true` if there is a path from `from` to `to` following strong **or**
+    /// weak edges — the paper's `path(u, v)`.
+    pub fn path(&self, from: VertexId, to: VertexId) -> bool {
+        if from == to {
+            return true;
+        }
+        if from.round <= to.round {
+            return false;
+        }
+        let mut seen: HashSet<VertexId> = HashSet::new();
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+        queue.push_back(from);
+        seen.insert(from);
+        while let Some(cur) = queue.pop_front() {
+            let Some(v) = self.get(cur) else { continue };
+            for p in v.parents() {
+                if p == to {
+                    return true;
+                }
+                if p.round >= to.round && seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// All vertices reachable from `from` (inclusive) via strong or weak
+    /// edges, in deterministic `(round, source)` order — the traversal behind
+    /// `orderVertices`.
+    pub fn causal_history(&self, from: VertexId) -> Vec<VertexId> {
+        let mut seen: HashSet<VertexId> = HashSet::new();
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+        if self.contains(from) {
+            queue.push_back(from);
+            seen.insert(from);
+        }
+        while let Some(cur) = queue.pop_front() {
+            let Some(v) = self.get(cur) else { continue };
+            for p in v.parents() {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        let mut out: Vec<VertexId> = seen.into_iter().collect();
+        out.sort();
+        out
+    }
+}
+
+impl<B> Default for DagStore<B> {
+    fn default() -> Self {
+        DagStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn vid(round: Round, source: usize) -> VertexId {
+        VertexId::new(round, pid(source))
+    }
+
+    /// Builds a 4-process DAG with `rounds` full rounds where every vertex
+    /// strongly references all vertices of the previous round.
+    fn full_dag(n: usize, rounds: Round) -> DagStore<u64> {
+        let mut dag = DagStore::with_genesis(n, 0u64);
+        for r in 1..=rounds {
+            for i in 0..n {
+                let v = Vertex::new(pid(i), r, r * 100 + i as u64, ProcessSet::full(n), vec![]);
+                dag.insert(v).unwrap();
+            }
+        }
+        dag
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let dag = full_dag(4, 3);
+        assert_eq!(dag.len(), 16);
+        assert_eq!(dag.max_round(), Some(3));
+        assert!(dag.contains(vid(2, 1)));
+        assert!(!dag.contains(vid(4, 0)));
+        assert_eq!(dag.sources_in_round(1), ProcessSet::full(4));
+        assert_eq!(dag.vertices_in_round(2).count(), 4);
+        assert_eq!(dag.get(vid(3, 2)).unwrap().block(), &302);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut dag = full_dag(4, 1);
+        let v = Vertex::new(pid(0), 1, 9u64, ProcessSet::full(4), vec![]);
+        assert_eq!(dag.insert(v), Err(DagError::Duplicate(vid(1, 0))));
+    }
+
+    #[test]
+    fn missing_parent_rejected() {
+        let mut dag: DagStore<u64> = DagStore::with_genesis(4, 0);
+        let v = Vertex::new(pid(0), 2, 9u64, ProcessSet::from_indices([1]), vec![]);
+        assert_eq!(
+            dag.insert(v.clone()),
+            Err(DagError::MissingParent { vertex: vid(2, 0), parent: vid(1, 1) })
+        );
+        assert!(!dag.parents_present(&v));
+    }
+
+    #[test]
+    fn strong_path_full_dag() {
+        let dag = full_dag(4, 4);
+        assert!(dag.strong_path(vid(4, 0), vid(1, 3)));
+        assert!(dag.strong_path(vid(4, 0), vid(4, 0)), "reflexive");
+        assert!(!dag.strong_path(vid(1, 0), vid(4, 0)), "no upward paths");
+        assert_eq!(dag.strong_reachable_sources(vid(4, 2), 1), ProcessSet::full(4));
+    }
+
+    #[test]
+    fn strong_path_sparse() {
+        // Chain: only p0 creates vertices, each referencing only p0.
+        let mut dag: DagStore<u64> = DagStore::with_genesis(3, 0);
+        for r in 1..=3 {
+            dag.insert(Vertex::new(pid(0), r, r, ProcessSet::from_indices([0]), vec![]))
+                .unwrap();
+        }
+        assert!(dag.strong_path(vid(3, 0), vid(1, 0)));
+        assert!(!dag.strong_path(vid(3, 0), vid(1, 1)), "p1 has no round-1 vertex");
+        assert_eq!(
+            dag.strong_reachable_sources(vid(3, 0), 0),
+            ProcessSet::from_indices([0])
+        );
+    }
+
+    #[test]
+    fn weak_edges_counted_by_path_not_strong_path() {
+        let mut dag: DagStore<u64> = DagStore::with_genesis(3, 0);
+        // p1 creates rounds 1-2; p0 skips round 1-2 and joins at round 3 with
+        // a strong edge to p1's round-2 vertex and a weak edge to genesis p2.
+        dag.insert(Vertex::new(pid(1), 1, 1, ProcessSet::from_indices([1]), vec![])).unwrap();
+        dag.insert(Vertex::new(pid(1), 2, 2, ProcessSet::from_indices([1]), vec![])).unwrap();
+        let v = Vertex::new(
+            pid(0),
+            3,
+            3,
+            ProcessSet::from_indices([1]),
+            vec![vid(0, 2)],
+        );
+        dag.insert(v).unwrap();
+        assert!(dag.path(vid(3, 0), vid(0, 2)), "weak edge gives a path");
+        assert!(!dag.strong_path(vid(3, 0), vid(0, 2)), "but not a strong path");
+        assert!(dag.strong_path(vid(3, 0), vid(1, 1)));
+    }
+
+    #[test]
+    fn causal_history_is_complete_and_sorted() {
+        let dag = full_dag(3, 2);
+        let hist = dag.causal_history(vid(2, 0));
+        // Everything from rounds 0..2 plus the vertex itself is reachable.
+        assert_eq!(hist.len(), 3 + 3 + 1);
+        let mut sorted = hist.clone();
+        sorted.sort();
+        assert_eq!(hist, sorted);
+        assert!(hist.contains(&vid(0, 2)));
+        assert!(hist.contains(&vid(2, 0)));
+        assert!(!hist.contains(&vid(2, 1)));
+    }
+
+    #[test]
+    fn causal_history_of_missing_vertex_is_empty() {
+        let dag = full_dag(3, 1);
+        assert!(dag.causal_history(vid(5, 0)).is_empty());
+    }
+
+    #[test]
+    fn path_respects_round_bounds() {
+        let dag = full_dag(3, 2);
+        assert!(!dag.path(vid(1, 0), vid(2, 0)));
+        assert!(dag.path(vid(2, 1), vid(2, 1)));
+    }
+}

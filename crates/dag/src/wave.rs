@@ -1,0 +1,95 @@
+//! Wave arithmetic: DAG-Rider groups rounds into 4-round *waves*.
+//!
+//! Waves are numbered from 1; wave `w` spans rounds
+//! `4(w−1)+1 .. 4w`. Round 0 is the genesis round and belongs to no wave.
+
+use crate::vertex::Round;
+
+/// Wave number (1-based).
+pub type WaveId = u64;
+
+/// Number of rounds per wave in DAG-Rider-style protocols.
+pub const ROUNDS_PER_WAVE: u64 = 4;
+
+/// The `k`-th round of wave `w` (`k ∈ 1..=4`) — the paper's `round(w, k)`.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `k` is not in `1..=4`.
+pub fn round_of_wave(w: WaveId, k: u64) -> Round {
+    assert!(w >= 1, "waves are numbered from 1");
+    assert!((1..=ROUNDS_PER_WAVE).contains(&k), "wave rounds are 1..=4");
+    ROUNDS_PER_WAVE * (w - 1) + k
+}
+
+/// The wave containing `round` — the paper's `waveOfRound`.
+///
+/// # Panics
+///
+/// Panics on round 0 (genesis belongs to no wave).
+pub fn wave_of_round(round: Round) -> WaveId {
+    assert!(round >= 1, "round 0 is genesis");
+    (round - 1) / ROUNDS_PER_WAVE + 1
+}
+
+/// Position of `round` within its wave (`1..=4`).
+///
+/// # Panics
+///
+/// Panics on round 0.
+pub fn position_in_wave(round: Round) -> u64 {
+    assert!(round >= 1, "round 0 is genesis");
+    (round - 1) % ROUNDS_PER_WAVE + 1
+}
+
+/// `true` if `round` is the last round of its wave (a wave boundary where the
+/// commit rule runs).
+pub fn is_wave_boundary(round: Round) -> bool {
+    round >= 1 && position_in_wave(round) == ROUNDS_PER_WAVE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_wave_roundtrip() {
+        for w in 1..=10 {
+            for k in 1..=4 {
+                let r = round_of_wave(w, k);
+                assert_eq!(wave_of_round(r), w);
+                assert_eq!(position_in_wave(r), k);
+            }
+        }
+    }
+
+    #[test]
+    fn first_wave_spans_rounds_1_to_4() {
+        assert_eq!(round_of_wave(1, 1), 1);
+        assert_eq!(round_of_wave(1, 4), 4);
+        assert_eq!(round_of_wave(2, 1), 5);
+        assert_eq!(wave_of_round(4), 1);
+        assert_eq!(wave_of_round(5), 2);
+    }
+
+    #[test]
+    fn boundaries() {
+        assert!(is_wave_boundary(4));
+        assert!(is_wave_boundary(8));
+        assert!(!is_wave_boundary(1));
+        assert!(!is_wave_boundary(7));
+        assert!(!is_wave_boundary(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "genesis")]
+    fn wave_of_round_zero_panics() {
+        let _ = wave_of_round(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn wave_zero_panics() {
+        let _ = round_of_wave(0, 1);
+    }
+}

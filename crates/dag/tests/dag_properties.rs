@@ -1,0 +1,131 @@
+//! Property-based tests of the DAG substrate: reachability relations on
+//! randomly generated (but well-formed) DAGs.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use asym_dag::{DagStore, Vertex, VertexId};
+use asym_quorum::{ProcessId, ProcessSet};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Builds a random DAG: each process creates a vertex in each round with
+/// probability `presence`, strongly referencing a random non-empty subset of
+/// the previous round's vertices, plus weak edges to a few older ones.
+fn random_dag(n: usize, rounds: u64, presence: f64, seed: u64) -> DagStore<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut dag: DagStore<u64> = DagStore::with_genesis(n, 0);
+    for r in 1..=rounds {
+        let prev: Vec<ProcessId> = dag.sources_in_round(r - 1).to_vec();
+        if prev.is_empty() {
+            break;
+        }
+        for i in 0..n {
+            if rng.random_bool(presence) || r == 1 {
+                let mut parents = prev.clone();
+                parents.shuffle(&mut rng);
+                let k = rng.random_range(1..=parents.len());
+                let strong: ProcessSet = parents.into_iter().take(k).collect();
+                // Occasional weak edge to a round-(r-2) vertex.
+                let mut weak = Vec::new();
+                if r >= 3 && rng.random_bool(0.3) {
+                    let old: Vec<ProcessId> = dag.sources_in_round(r - 2).to_vec();
+                    if let Some(w) = old.first() {
+                        weak.push(VertexId::new(r - 2, *w));
+                    }
+                }
+                let v = Vertex::new(pid(i), r, r * 100 + i as u64, strong, weak);
+                dag.insert(v).expect("parents chosen from stored vertices");
+            }
+        }
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strong_path_implies_path(n in 2usize..6, rounds in 1u64..8, seed in 0u64..500) {
+        let dag = random_dag(n, rounds, 0.7, seed);
+        let max_r = dag.max_round().unwrap();
+        for from in dag.vertices_in_round(max_r).map(Vertex::id).collect::<Vec<_>>() {
+            for r in 0..max_r {
+                for to in dag.vertices_in_round(r).map(Vertex::id).collect::<Vec<_>>() {
+                    if dag.strong_path(from, to) {
+                        prop_assert!(dag.path(from, to), "{from} strong-reaches {to} but path() denies");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn causal_history_is_path_closed(n in 2usize..6, rounds in 1u64..8, seed in 0u64..500) {
+        let dag = random_dag(n, rounds, 0.7, seed);
+        let max_r = dag.max_round().unwrap();
+        let Some(top) = dag.vertices_in_round(max_r).map(Vertex::id).next() else {
+            return Ok(());
+        };
+        let hist = dag.causal_history(top);
+        // Every member is reachable, and every parent of a member is a member.
+        for id in &hist {
+            prop_assert!(dag.path(top, *id));
+            let v = dag.get(*id).unwrap();
+            for p in v.parents() {
+                prop_assert!(hist.contains(&p), "parent {p} of {id} missing from history");
+            }
+        }
+        // Nothing outside the history is reachable.
+        for r in 0..=max_r {
+            for v in dag.vertices_in_round(r) {
+                if !hist.contains(&v.id()) {
+                    prop_assert!(!dag.path(top, v.id()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_reachable_sources_agrees_with_strong_path(
+        n in 2usize..6, rounds in 2u64..8, seed in 0u64..500,
+    ) {
+        let dag = random_dag(n, rounds, 0.7, seed);
+        let max_r = dag.max_round().unwrap();
+        for from in dag.vertices_in_round(max_r).map(Vertex::id).collect::<Vec<_>>() {
+            for target in 0..max_r {
+                let bulk = dag.strong_reachable_sources(from, target);
+                for i in 0..n {
+                    let to = VertexId::new(target, pid(i));
+                    let individually = dag.contains(to) && dag.strong_path(from, to);
+                    prop_assert_eq!(
+                        bulk.contains(pid(i)),
+                        individually,
+                        "mismatch for {} -> {}", from, to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reflexivity_and_antisymmetry(n in 2usize..5, rounds in 1u64..6, seed in 0u64..200) {
+        let dag = random_dag(n, rounds, 0.8, seed);
+        let all: Vec<VertexId> = (0..=dag.max_round().unwrap())
+            .flat_map(|r| dag.vertices_in_round(r).map(Vertex::id).collect::<Vec<_>>())
+            .collect();
+        for &a in &all {
+            prop_assert!(dag.path(a, a));
+            prop_assert!(dag.strong_path(a, a));
+            for &b in &all {
+                if a != b && dag.path(a, b) {
+                    prop_assert!(!dag.path(b, a), "cycle between {a} and {b}");
+                }
+            }
+        }
+    }
+}

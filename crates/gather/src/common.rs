@@ -1,0 +1,176 @@
+//! Shared vocabulary of the gather protocols: value sets and common-core
+//! queries.
+
+use std::collections::BTreeMap;
+
+use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
+
+/// The sets exchanged by gather protocols: `{(p_j, x_j)}` pairs, at most one
+/// value per process, with deterministic (id-ordered) iteration.
+pub type ValueSet<V> = BTreeMap<ProcessId, V>;
+
+/// Serializable form of a [`ValueSet`] for wire messages.
+pub fn to_wire<V: Clone>(set: &ValueSet<V>) -> Vec<(ProcessId, V)> {
+    set.iter().map(|(p, v)| (*p, v.clone())).collect()
+}
+
+/// Returns `true` if every `(process, value)` pair of `small` occurs
+/// *identically* in `big` — the paper's `S_j ⊆ S_i` test on sets of pairs.
+pub fn pairs_subset<V: PartialEq>(small: &[(ProcessId, V)], big: &ValueSet<V>) -> bool {
+    small.iter().all(|(p, v)| big.get(p) == Some(v))
+}
+
+/// Merges `incoming` into `target`.
+///
+/// # Panics
+///
+/// Panics if the merge would associate a *different* value with a process
+/// already present — that would be an agreement violation, which the
+/// subset-guarded protocols rule out; reaching it indicates a protocol bug.
+pub fn merge_pairs<V: Clone + PartialEq + core::fmt::Debug>(
+    target: &mut ValueSet<V>,
+    incoming: &[(ProcessId, V)],
+) {
+    for (p, v) in incoming {
+        match target.get(p) {
+            Some(existing) => assert_eq!(
+                existing, v,
+                "agreement violation: two values for {p} reached a merge"
+            ),
+            None => {
+                target.insert(*p, v.clone());
+            }
+        }
+    }
+}
+
+/// The processes bound in a value set.
+pub fn support<V>(set: &ValueSet<V>) -> ProcessSet {
+    set.keys().copied().collect()
+}
+
+/// Searches for a **common core** among delivered gather outputs
+/// (Definition 3.1): a process `p_i ∈ members` and one of its minimal quorums
+/// `Q` such that every listed output contains the `(p, x_p)` pairs of all
+/// `p ∈ Q`.
+///
+/// `outputs` holds the `U` set delivered by each probed process (typically
+/// the maximal guild). Returns the first `(owner, quorum)` witness found.
+///
+/// All outputs must associate identical values with overlapping processes
+/// (agreement) — checked by [`check_pairwise_agreement`] separately.
+pub fn find_common_core<V: PartialEq>(
+    quorums: &AsymQuorumSystem,
+    members: &ProcessSet,
+    outputs: &[(ProcessId, &ValueSet<V>)],
+) -> Option<(ProcessId, ProcessSet)> {
+    for owner in members {
+        for q in quorums.of(owner).minimal_quorums() {
+            let in_all = outputs.iter().all(|(_, u)| {
+                q.iter().all(|p| u.contains_key(&p))
+            });
+            if in_all {
+                return Some((owner, q));
+            }
+        }
+    }
+    None
+}
+
+/// Verifies the gather **agreement** property over delivered outputs: no two
+/// outputs bind different values to the same process. Returns the offending
+/// process on violation.
+pub fn check_pairwise_agreement<V: PartialEq>(
+    outputs: &[(ProcessId, &ValueSet<V>)],
+) -> Result<(), ProcessId> {
+    for (i, (_, a)) in outputs.iter().enumerate() {
+        for (_, b) in &outputs[i + 1..] {
+            for (p, v) in a.iter() {
+                if let Some(w) = b.get(p) {
+                    if v != w {
+                        return Err(*p);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_quorum::topology;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn vset(pairs: &[(usize, u32)]) -> ValueSet<u32> {
+        pairs.iter().map(|(p, v)| (pid(*p), *v)).collect()
+    }
+
+    #[test]
+    fn wire_roundtrip_and_subset() {
+        let s = vset(&[(0, 10), (2, 20)]);
+        let wire = to_wire(&s);
+        assert!(pairs_subset(&wire, &s));
+        let bigger = vset(&[(0, 10), (1, 15), (2, 20)]);
+        assert!(pairs_subset(&wire, &bigger));
+        let conflicting = vset(&[(0, 10), (2, 99)]);
+        assert!(!pairs_subset(&wire, &conflicting));
+        let missing = vset(&[(0, 10)]);
+        assert!(!pairs_subset(&wire, &missing));
+    }
+
+    #[test]
+    fn merge_adds_new_pairs() {
+        let mut t = vset(&[(0, 1)]);
+        merge_pairs(&mut t, &[(pid(1), 2), (pid(0), 1)]);
+        assert_eq!(t, vset(&[(0, 1), (1, 2)]));
+        assert_eq!(support(&t), ProcessSet::from_indices([0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "agreement violation")]
+    fn merge_panics_on_conflict() {
+        let mut t = vset(&[(0, 1)]);
+        merge_pairs(&mut t, &[(pid(0), 2)]);
+    }
+
+    #[test]
+    fn common_core_found_when_quorum_everywhere() {
+        let t = topology::uniform_threshold(4, 1);
+        let members = ProcessSet::full(4);
+        // Everyone holds values for {0,1,2}: a 3-quorum — common core.
+        let u: ValueSet<u32> = vset(&[(0, 0), (1, 1), (2, 2)]);
+        let outputs: Vec<(ProcessId, &ValueSet<u32>)> =
+            (0..4).map(|i| (pid(i), &u)).collect();
+        let (owner, q) = find_common_core(&t.quorums, &members, &outputs).unwrap();
+        assert!(members.contains(owner));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn common_core_absent_on_disjoint_views() {
+        let t = topology::uniform_threshold(4, 1);
+        let members = ProcessSet::full(4);
+        let u1 = vset(&[(0, 0), (1, 1), (2, 2)]);
+        let u2 = vset(&[(1, 1), (2, 2), (3, 3)]);
+        let outputs = vec![(pid(0), &u1), (pid(1), &u2)];
+        // {1,2} shared but quorums need 3 members.
+        assert!(find_common_core(&t.quorums, &members, &outputs).is_none());
+    }
+
+    #[test]
+    fn agreement_check_detects_conflicts() {
+        let a = vset(&[(0, 1), (1, 2)]);
+        let b = vset(&[(1, 2), (2, 3)]);
+        assert!(check_pairwise_agreement(&[(pid(0), &a), (pid(1), &b)]).is_ok());
+        let c = vset(&[(1, 99)]);
+        assert_eq!(
+            check_pairwise_agreement(&[(pid(0), &a), (pid(2), &c)]),
+            Err(pid(1))
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Pure dataflow evaluation of round-based quorum gathering — the executable
+//! form of the paper's **Listing 1** and the generator of **Figures 2–4**.
+//!
+//! The Appendix-A counterexample executes Algorithm 2 under the schedule
+//! "every process hears exactly one of its quorums per round, then advances".
+//! Under that schedule the protocol reduces to three rounds of set unions:
+//!
+//! ```text
+//! S_i = Q_i                      (round 1: initial values from my quorum)
+//! T_i = ⋃_{j ∈ Q_i} S_j          (round 2)
+//! U_i = ⋃_{j ∈ Q_i} T_j          (round 3)
+//! ```
+//!
+//! where values are identified with their originating process. This module
+//! computes those fixpoints for *any* per-process quorum choice, checks for a
+//! common core exactly as the paper's Python script does, and generalizes to
+//! `r` rounds (the paper's log-round remark).
+
+use asym_quorum::{counterexample, ProcessId, ProcessSet};
+
+/// One round of the quorum-union dataflow: `next_i = ⋃_{j ∈ Q_i} prev_j`.
+pub fn union_round(quorums: &[ProcessSet], prev: &[ProcessSet]) -> Vec<ProcessSet> {
+    quorums
+        .iter()
+        .map(|q| {
+            let mut acc = ProcessSet::new();
+            for j in q {
+                acc.union_with(&prev[j.index()]);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// The S/T/U sets of the three-round execution (Figures 2, 3, 4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundSets {
+    /// Round-1 sets: `S_i = Q_i` (Figure 2).
+    pub s: Vec<ProcessSet>,
+    /// Round-2 sets: `T_i` (Figure 3).
+    pub t: Vec<ProcessSet>,
+    /// Round-3 sets: `U_i` (Figure 4) — the delivered outputs.
+    pub u: Vec<ProcessSet>,
+}
+
+/// Runs the three-round dataflow of Listing 1 for one chosen quorum per
+/// process.
+pub fn three_rounds(quorums: &[ProcessSet]) -> RoundSets {
+    let s: Vec<ProcessSet> = quorums.to_vec();
+    let t = union_round(quorums, &s);
+    let u = union_round(quorums, &t);
+    RoundSets { s, t, u }
+}
+
+/// Runs `rounds ≥ 1` rounds of the dataflow and returns the final sets
+/// (round 1 = the quorums themselves).
+pub fn n_rounds(quorums: &[ProcessSet], rounds: usize) -> Vec<ProcessSet> {
+    assert!(rounds >= 1, "at least the initial round is required");
+    let mut cur: Vec<ProcessSet> = quorums.to_vec();
+    for _ in 1..rounds {
+        cur = union_round(quorums, &cur);
+    }
+    cur
+}
+
+/// The paper's final check (`all_candidates`): which processes' S-sets are
+/// contained in **every** final set? Non-empty ⟺ a common core exists.
+pub fn common_core_candidates(s_sets: &[ProcessSet], finals: &[ProcessSet]) -> ProcessSet {
+    (0..s_sets.len())
+        .map(ProcessId::new)
+        .filter(|j| finals.iter().all(|u| s_sets[j.index()].is_subset(u)))
+        .collect()
+}
+
+/// Convenience: `true` if the three-round dataflow reaches a common core.
+pub fn has_common_core(quorums: &[ProcessSet]) -> bool {
+    let rs = three_rounds(quorums);
+    !common_core_candidates(&rs.s, &rs.u).is_empty()
+}
+
+/// The Figure-1 quorum choice (one quorum per process) as a plain vector,
+/// ready for the dataflow functions.
+pub fn fig1_quorum_choice() -> Vec<ProcessSet> {
+    (0..counterexample::FIG1_N)
+        .map(|i| counterexample::fig1_quorum_of(ProcessId::new(i)))
+        .collect()
+}
+
+/// Number of dataflow rounds after which a common core appears for the given
+/// quorum choice, probing up to `max_rounds`. Returns `None` if none appears
+/// within the probe budget.
+///
+/// The paper remarks that quorum consistency forces a common core within
+/// `log n` rounds; this function measures the actual requirement.
+pub fn rounds_to_common_core(quorums: &[ProcessSet], max_rounds: usize) -> Option<usize> {
+    let s_sets: Vec<ProcessSet> = quorums.to_vec();
+    let mut cur = s_sets.clone();
+    for round in 1..=max_rounds {
+        if !common_core_candidates(&s_sets, &cur).is_empty() {
+            return Some(round);
+        }
+        cur = union_round(quorums, &cur);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_quorum::combinatorics::combinations;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig1_reproduces_lemma_3_2() {
+        // Lemma 3.2 / Listing 1: the 30-process system reaches NO common core
+        // after the three rounds of Algorithm 2.
+        let quorums = fig1_quorum_choice();
+        let rs = three_rounds(&quorums);
+        let candidates = common_core_candidates(&rs.s, &rs.u);
+        assert!(
+            candidates.is_empty(),
+            "paper's counterexample must yield an empty candidate set, got {candidates}"
+        );
+        assert!(!has_common_core(&quorums));
+    }
+
+    #[test]
+    fn fig1_u_sets_all_miss_some_tail_process() {
+        // Appendix A's explanation: every U set misses at least one process
+        // in the (one-based) range [16, 30].
+        let rs = three_rounds(&fig1_quorum_choice());
+        let tail = ProcessSet::from_paper_labels(16..=30);
+        for (i, u) in rs.u.iter().enumerate() {
+            assert!(
+                !tail.is_subset(u),
+                "U set of process {} contains the whole tail range",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_grow_when_quorums_are_reflexive() {
+        // If every process belongs to its own quorum, the per-round sets are
+        // monotone: S_i ⊆ T_i ⊆ U_i. (Figure 1 is NOT reflexive — e.g.
+        // process 5's quorum omits process 5 — so this holds only here.)
+        let n = 9;
+        let quorums: Vec<ProcessSet> =
+            (0..n).map(|i| (0..5).map(|k| (i + k) % n).collect()).collect();
+        for (i, q) in quorums.iter().enumerate() {
+            assert!(q.contains(ProcessId::new(i)));
+        }
+        let rs = three_rounds(&quorums);
+        for i in 0..n {
+            assert!(rs.s[i].is_subset(&rs.t[i]), "S_{i} ⊄ T_{i}");
+            assert!(rs.t[i].is_subset(&rs.u[i]), "T_{i} ⊄ U_{i}");
+        }
+    }
+
+    #[test]
+    fn fig1_has_non_reflexive_quorums() {
+        // The counterexample exploits processes outside their own quorums.
+        let quorums = fig1_quorum_choice();
+        let non_reflexive: Vec<usize> = (0..quorums.len())
+            .filter(|i| !quorums[*i].contains(ProcessId::new(*i)))
+            .collect();
+        assert!(!non_reflexive.is_empty());
+        assert!(non_reflexive.contains(&4), "process 5 (paper label) omits itself");
+    }
+
+    #[test]
+    fn fig1_eventually_reaches_common_core_with_more_rounds() {
+        // The paper: consistency forces a common core in O(log n) rounds.
+        let quorums = fig1_quorum_choice();
+        let rounds = rounds_to_common_core(&quorums, 16).expect("must converge within log n");
+        assert!(rounds > 3, "counterexample defeats exactly the 3-round protocol");
+        assert!(rounds <= 6, "log2(30) ≈ 5 rounds should suffice, got {rounds}");
+    }
+
+    #[test]
+    fn threshold_quorums_reach_common_core_in_three_rounds() {
+        // Classic n=3f+1 with (n−f)-quorums: the symmetric gather argument.
+        for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+            // Process i's quorum: the n−f processes starting at i (wrapping).
+            let quorums: Vec<ProcessSet> = (0..n)
+                .map(|i| (0..n - f).map(|k| (i + k) % n).collect())
+                .collect();
+            assert!(has_common_core(&quorums), "n={n}, f={f}");
+        }
+    }
+
+    #[test]
+    fn small_systems_always_have_common_core() {
+        // §3.2: "any system having less than 16 processes will always satisfy
+        // the common core property" (given pairwise-intersecting quorums).
+        // Exhaustive-ish check for n ≤ 6 over all single-quorum choices with
+        // quorums of size ≥ ⌈(n+1)/2⌉ (pairwise intersection guaranteed).
+        for n in 3..=6usize {
+            let q = n / 2 + 1;
+            let all_quorums: Vec<ProcessSet> =
+                combinations(&ProcessSet::full(n), q).collect();
+            // Sample systematically: assign quorum (i * 7 + s) mod |all| to
+            // process i for a spread of seeds s.
+            for s in 0..all_quorums.len() {
+                let choice: Vec<ProcessSet> = (0..n)
+                    .map(|i| all_quorums[(i * 7 + s) % all_quorums.len()].clone())
+                    .collect();
+                assert!(has_common_core(&choice), "n={n} seed={s}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_majority_quorums_below_16_processes_have_common_core(
+            n in 3usize..12,
+            seed in 0u64..5000,
+        ) {
+            // Random single-quorum-per-process systems with pairwise
+            // intersecting quorums (majority size) on < 16 processes: the
+            // paper says 3 rounds always suffice.
+            use rand::rngs::SmallRng;
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let q = n / 2 + 1;
+            let quorums: Vec<ProcessSet> = (0..n)
+                .map(|_| {
+                    let mut ids: Vec<usize> = (0..n).collect();
+                    ids.shuffle(&mut rng);
+                    ids.into_iter().take(q).collect()
+                })
+                .collect();
+            prop_assert!(has_common_core(&quorums), "n={} quorums={:?}", n, quorums);
+        }
+
+        #[test]
+        fn prop_final_sets_monotone_for_reflexive_quorums(
+            n in 3usize..10,
+            seed in 0u64..1000,
+        ) {
+            use rand::rngs::SmallRng;
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let q = n / 2 + 1;
+            // Reflexive random quorums: i always belongs to its own quorum.
+            let quorums: Vec<ProcessSet> = (0..n)
+                .map(|i| {
+                    let mut ids: Vec<usize> = (0..n).filter(|j| *j != i).collect();
+                    ids.shuffle(&mut rng);
+                    let mut s: ProcessSet = ids.into_iter().take(q - 1).collect();
+                    s.insert(ProcessId::new(i));
+                    s
+                })
+                .collect();
+            let r2 = n_rounds(&quorums, 2);
+            let r3 = n_rounds(&quorums, 3);
+            for i in 0..n {
+                prop_assert!(r2[i].is_subset(&r3[i]));
+            }
+        }
+    }
+}

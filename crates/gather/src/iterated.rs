@@ -1,0 +1,276 @@
+//! The **iterated quorum-replacement gather** — the paper's §3 alternative
+//! to Algorithm 3.
+//!
+//! The paper observes that the quorum-*consistency* property does make the
+//! naive round structure of Algorithm 2 converge — just not in three rounds:
+//! with `R` rounds of "collect sets from one of my quorums, union, forward",
+//! any system with fewer than `2^(R-1)` processes reaches a common core, so
+//! `log₂ n + 1` rounds always suffice. That logarithmic latency is exactly
+//! what a DAG protocol cannot afford (every wave would stretch with `n`),
+//! which motivates the constant-round Algorithm 3.
+//!
+//! This module implements the `R`-round protocol generically, so the
+//! trade-off is measurable: on the Figure-1 system, `R = 3` fails
+//! (Lemma 3.2) while `R = 4` already succeeds under the same adversary.
+
+use asym_broadcast::{BcastMsg, BroadcastHub};
+use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
+use asym_sim::{Context, InFlight, Protocol, Scheduler, Step};
+
+use crate::common::{merge_pairs, to_wire, ValueSet};
+
+/// Wire messages of the iterated gather: the arb layer plus one
+/// `DISTRIBUTE` message kind per round level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IteratedGatherMsg<V> {
+    /// Asymmetric reliable broadcast layer for the initial values.
+    Arb(BcastMsg<V>),
+    /// Level-`k` set distribution (`k = 1` plays `DISTRIBUTE_S`'s role).
+    Distribute {
+        /// Round level of the carried set (1-based).
+        level: u32,
+        /// The sender's accumulated set at that level.
+        pairs: Vec<(ProcessId, V)>,
+    },
+}
+
+/// One process of the `R`-round iterated quorum-replacement gather.
+///
+/// With `rounds == 3` this is exactly Algorithm 2 (unsound on Figure 1);
+/// with `rounds ≥ log₂ n + 1` the quorum-consistency argument guarantees a
+/// common core at the cost of logarithmic latency.
+#[derive(Clone, Debug)]
+pub struct IteratedGather<V> {
+    me: ProcessId,
+    quorums: AsymQuorumSystem,
+    rounds: u32,
+    hub: BroadcastHub<V>,
+    /// `sets[k]` = accumulated set at level `k` (0 = arb deliveries).
+    sets: Vec<ValueSet<V>>,
+    /// Senders whose level-`k` distribute messages were received.
+    senders: Vec<ProcessSet>,
+    /// Whether the level-`k` distribute message was sent.
+    sent: Vec<bool>,
+    delivered: bool,
+}
+
+impl<V: Clone + Eq + std::hash::Hash + core::fmt::Debug> IteratedGather<V> {
+    /// Creates an `R`-round iterated gather process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds < 2` (one collection plus one distribution is the
+    /// minimum meaningful configuration).
+    pub fn new(me: ProcessId, quorums: AsymQuorumSystem, rounds: u32) -> Self {
+        assert!(rounds >= 2, "iterated gather needs at least 2 rounds");
+        IteratedGather {
+            me,
+            hub: BroadcastHub::new(me, quorums.clone()),
+            quorums,
+            rounds,
+            sets: vec![ValueSet::new(); rounds as usize],
+            senders: vec![ProcessSet::new(); rounds as usize],
+            sent: vec![false; rounds as usize],
+            delivered: false,
+        }
+    }
+
+    /// Number of configured rounds.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The delivered final set, if the protocol finished.
+    pub fn delivered_set(&self) -> Option<&ValueSet<V>> {
+        self.delivered.then(|| self.sets.last().expect("rounds ≥ 2"))
+    }
+
+    fn advance(&mut self, ctx: &mut Context<'_, IteratedGatherMsg<V>, ValueSet<V>>) {
+        // Level 1 fires on an arb-delivered quorum; level k ≥ 2 fires on a
+        // quorum of level-(k−1) distribute messages.
+        let r = self.rounds as usize;
+        for k in 1..r {
+            if self.sent[k] {
+                continue;
+            }
+            let ready = if k == 1 {
+                let support: ProcessSet = self.sets[0].keys().copied().collect();
+                self.quorums.contains_quorum_for(self.me, &support)
+            } else {
+                self.quorums.contains_quorum_for(self.me, &self.senders[k - 1])
+            };
+            if ready {
+                self.sent[k] = true;
+                let payload = if k == 1 { &self.sets[0] } else { &self.sets[k - 1] };
+                ctx.broadcast(IteratedGatherMsg::Distribute {
+                    level: k as u32,
+                    pairs: to_wire(payload),
+                });
+            }
+        }
+        // Delivery: a quorum of final-level distribute messages.
+        if !self.delivered
+            && self.quorums.contains_quorum_for(self.me, &self.senders[r - 1])
+        {
+            self.delivered = true;
+            ctx.output(self.sets[r - 1].clone());
+        }
+    }
+}
+
+impl<V: Clone + Eq + std::hash::Hash + core::fmt::Debug> Protocol for IteratedGather<V> {
+    type Msg = IteratedGatherMsg<V>;
+    type Input = V;
+    type Output = ValueSet<V>;
+
+    fn on_input(&mut self, value: V, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        for m in self.hub.broadcast(0, value) {
+            ctx.broadcast(IteratedGatherMsg::Arb(m));
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        match msg {
+            IteratedGatherMsg::Arb(inner) => {
+                let (out, deliveries) = self.hub.on_message(from, inner);
+                for m in out {
+                    ctx.broadcast(IteratedGatherMsg::Arb(m));
+                }
+                for d in deliveries {
+                    merge_pairs(&mut self.sets[0], &[(d.origin, d.value)]);
+                }
+            }
+            IteratedGatherMsg::Distribute { level, pairs } => {
+                let k = level as usize;
+                if k >= 1 && k < self.rounds as usize && self.senders[k].insert(from) {
+                    merge_pairs(&mut self.sets[k], &pairs);
+                }
+            }
+        }
+        self.advance(ctx);
+    }
+}
+
+/// The Appendix-A adversary generalized to the iterated protocol: every
+/// process hears each distribution level only from its designated quorum.
+#[derive(Clone, Debug)]
+pub struct IteratedLemma32Scheduler {
+    quorum_of: Vec<ProcessSet>,
+}
+
+impl IteratedLemma32Scheduler {
+    /// Creates the scheduler from the designated quorum of each process.
+    pub fn new(quorum_of: Vec<ProcessSet>) -> Self {
+        IteratedLemma32Scheduler { quorum_of }
+    }
+}
+
+impl<V> Scheduler<IteratedGatherMsg<V>> for IteratedLemma32Scheduler {
+    fn next(&mut self, pending: &[InFlight<IteratedGatherMsg<V>>], _now: Step) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                let q = &self.quorum_of[m.to.index()];
+                match &m.msg {
+                    IteratedGatherMsg::Arb(BcastMsg::Ready { origin, .. }) => {
+                        q.contains(*origin)
+                    }
+                    IteratedGatherMsg::Arb(_) => true,
+                    IteratedGatherMsg::Distribute { .. } => q.contains(m.from),
+                }
+            })
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::find_common_core;
+    use asym_quorum::counterexample::{fig1_quorum_of, fig1_quorums, FIG1_N};
+    use asym_quorum::topology;
+    use asym_sim::Simulation;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Runs the R-round protocol on the Figure-1 system under the
+    /// Appendix-A adversary; returns whether a common core was reached.
+    fn fig1_with_rounds(rounds: u32) -> bool {
+        let qs = fig1_quorums();
+        let quorum_of: Vec<ProcessSet> =
+            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let procs: Vec<IteratedGather<u64>> =
+            (0..FIG1_N).map(|i| IteratedGather::new(pid(i), qs.clone(), rounds)).collect();
+        let mut sim = Simulation::new(procs, IteratedLemma32Scheduler::new(quorum_of));
+        for i in 0..FIG1_N {
+            sim.input(pid(i), i as u64);
+        }
+        assert!(sim.run(200_000_000).quiescent);
+        let outputs: Vec<ValueSet<u64>> = (0..FIG1_N)
+            .map(|i| {
+                let out = sim.outputs(pid(i));
+                assert_eq!(out.len(), 1, "process {i} must deliver (rounds={rounds})");
+                out[0].clone()
+            })
+            .collect();
+        let refs: Vec<(ProcessId, &ValueSet<u64>)> =
+            outputs.iter().enumerate().map(|(i, u)| (pid(i), u)).collect();
+        find_common_core(&qs, &ProcessSet::full(FIG1_N), &refs).is_some()
+    }
+
+    #[test]
+    fn three_rounds_fail_on_figure_1() {
+        // rounds = 3 *is* Algorithm 2: Lemma 3.2 applies.
+        assert!(!fig1_with_rounds(3));
+    }
+
+    #[test]
+    fn four_rounds_succeed_on_figure_1() {
+        // The dataflow analysis says the Figure-1 system converges at 4
+        // rounds; the message-passing protocol agrees.
+        assert!(fig1_with_rounds(4));
+    }
+
+    #[test]
+    fn matches_dataflow_round_requirement() {
+        use crate::dataflow;
+        let quorum_of: Vec<ProcessSet> =
+            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let needed = dataflow::rounds_to_common_core(&quorum_of, 16).unwrap() as u32;
+        assert!(!fig1_with_rounds(needed - 1));
+        assert!(fig1_with_rounds(needed));
+    }
+
+    #[test]
+    fn threshold_systems_work_with_three_rounds() {
+        let t = topology::uniform_threshold(7, 2);
+        let procs: Vec<IteratedGather<u64>> =
+            (0..7).map(|i| IteratedGather::new(pid(i), t.quorums.clone(), 3)).collect();
+        let mut sim = Simulation::new(procs, asym_sim::scheduler::Random::new(5));
+        for i in 0..7 {
+            sim.input(pid(i), i as u64);
+        }
+        assert!(sim.run(100_000_000).quiescent);
+        let outputs: Vec<ValueSet<u64>> =
+            (0..7).map(|i| sim.outputs(pid(i))[0].clone()).collect();
+        let refs: Vec<(ProcessId, &ValueSet<u64>)> =
+            outputs.iter().enumerate().map(|(i, u)| (pid(i), u)).collect();
+        assert!(find_common_core(&t.quorums, &ProcessSet::full(7), &refs).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 rounds")]
+    fn rejects_degenerate_round_count() {
+        let t = topology::uniform_threshold(4, 1);
+        let _ = IteratedGather::<u64>::new(pid(0), t.quorums, 1);
+    }
+}

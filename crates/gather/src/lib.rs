@@ -1,0 +1,49 @@
+//! Gather (common-core) protocols — §2.4 and §3 of *"DAG-based Consensus
+//! with Asymmetric Trust"* (PODC 2025).
+//!
+//! A *gather* protocol lets every process propose a value and delivers to
+//! each process a set of `(process, value)` pairs such that a **common
+//! core** — the proposals of a full quorum — is contained in every correct
+//! output. This crate contains all three protocols the paper discusses:
+//!
+//! * [`SymGather`] (Algorithm 1) — the classic three-round threshold gather;
+//! * [`NaiveGather`] (Algorithm 2) — the quorum-replacement attempt, **shown
+//!   unsound** by Lemma 3.2; [`Lemma32Scheduler`] reproduces the Appendix-A
+//!   adversarial execution on the Figure-1 system;
+//! * [`AsymGather`] (Algorithm 3) — the paper's novel constant-round
+//!   asymmetric gather with the ACK/READY/CONFIRM control layer;
+//!
+//! plus [`dataflow`], the pure set-union evaluator behind Listing 1 and
+//! Figures 2–4, and [`common`], the shared value-set vocabulary and
+//! common-core queries used by tests and experiments.
+//!
+//! # The negative result, in one doctest
+//!
+//! ```
+//! use asym_gather::dataflow;
+//!
+//! // Three rounds of "hear exactly my quorum" on the Figure-1 system…
+//! let quorums = dataflow::fig1_quorum_choice();
+//! let sets = dataflow::three_rounds(&quorums);
+//! // …leave NO process's S-set inside every U-set: no common core.
+//! assert!(dataflow::common_core_candidates(&sets.s, &sets.u).is_empty());
+//! // Algorithm 3 exists because of exactly this failure.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asymmetric;
+pub mod common;
+pub mod dataflow;
+mod iterated;
+mod naive;
+mod symmetric;
+
+pub use asymmetric::{AsymGather, AsymGatherConfig, AsymGatherMsg};
+pub use common::{
+    check_pairwise_agreement, find_common_core, merge_pairs, pairs_subset, to_wire, ValueSet,
+};
+pub use iterated::{IteratedGather, IteratedGatherMsg, IteratedLemma32Scheduler};
+pub use naive::{Lemma32Scheduler, NaiveGather, NaiveGatherMsg};
+pub use symmetric::{SymGather, SymGatherMsg};

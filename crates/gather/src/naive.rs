@@ -1,0 +1,301 @@
+//! **Algorithm 2** — the quorum-replacement gather attempt, which the paper
+//! proves unsound (Lemma 3.2).
+//!
+//! This protocol is Algorithm 1 with every `n − f` threshold replaced by
+//! "one of my quorums" and the reliable broadcast replaced by its asymmetric
+//! version — the standard heuristic that *works* for broadcast and binary
+//! consensus but fails here. The module also provides the
+//! [`Lemma32Scheduler`], the adversarial delivery schedule of Appendix A
+//! under which the Figure-1 system reaches **no common core**: every process
+//! hears exactly its own quorum in each round.
+
+use asym_broadcast::{BcastMsg, BroadcastHub};
+use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
+use asym_sim::{Context, InFlight, Protocol, Scheduler, Step};
+
+use crate::common::{merge_pairs, to_wire, ValueSet};
+
+/// Wire messages of the naive asymmetric gather.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NaiveGatherMsg<V> {
+    /// Asymmetric reliable broadcast layer for the initial values.
+    Arb(BcastMsg<V>),
+    /// Round-2 set distribution.
+    DistS(Vec<(ProcessId, V)>),
+    /// Round-3 set distribution.
+    DistT(Vec<(ProcessId, V)>),
+}
+
+/// One process of the naive (quorum-replacement) asymmetric gather —
+/// Algorithm 2, kept for the negative result and the comparison experiments.
+#[derive(Clone, Debug)]
+pub struct NaiveGather<V> {
+    me: ProcessId,
+    quorums: AsymQuorumSystem,
+    hub: BroadcastHub<V>,
+    s: ValueSet<V>,
+    t: ValueSet<V>,
+    u: ValueSet<V>,
+    dist_s_from: ProcessSet,
+    dist_t_from: ProcessSet,
+    sent_s: bool,
+    sent_t: bool,
+    delivered: bool,
+}
+
+impl<V: Clone + Eq + std::hash::Hash + core::fmt::Debug> NaiveGather<V> {
+    /// Creates a naive-gather process under the given asymmetric quorum
+    /// system.
+    pub fn new(me: ProcessId, quorums: AsymQuorumSystem) -> Self {
+        NaiveGather {
+            me,
+            hub: BroadcastHub::new(me, quorums.clone()),
+            quorums,
+            s: ValueSet::new(),
+            t: ValueSet::new(),
+            u: ValueSet::new(),
+            dist_s_from: ProcessSet::new(),
+            dist_t_from: ProcessSet::new(),
+            sent_s: false,
+            sent_t: false,
+            delivered: false,
+        }
+    }
+
+    /// The delivered `U` set, if `ag-deliver` fired.
+    pub fn delivered_set(&self) -> Option<&ValueSet<V>> {
+        self.delivered.then_some(&self.u)
+    }
+
+    /// The current `S` set (observer inspection).
+    pub fn s_set(&self) -> &ValueSet<V> {
+        &self.s
+    }
+
+    fn advance(&mut self, ctx: &mut Context<'_, NaiveGatherMsg<V>, ValueSet<V>>) {
+        let support: ProcessSet = self.s.keys().copied().collect();
+        if !self.sent_s && self.quorums.contains_quorum_for(self.me, &support) {
+            self.sent_s = true;
+            ctx.broadcast(NaiveGatherMsg::DistS(to_wire(&self.s)));
+        }
+        if !self.sent_t && self.quorums.contains_quorum_for(self.me, &self.dist_s_from) {
+            self.sent_t = true;
+            ctx.broadcast(NaiveGatherMsg::DistT(to_wire(&self.t)));
+        }
+        if !self.delivered && self.quorums.contains_quorum_for(self.me, &self.dist_t_from) {
+            self.delivered = true;
+            ctx.output(self.u.clone());
+        }
+    }
+}
+
+impl<V: Clone + Eq + std::hash::Hash + core::fmt::Debug> Protocol for NaiveGather<V> {
+    type Msg = NaiveGatherMsg<V>;
+    type Input = V;
+    type Output = ValueSet<V>;
+
+    fn on_input(&mut self, value: V, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        for m in self.hub.broadcast(0, value) {
+            ctx.broadcast(NaiveGatherMsg::Arb(m));
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        match msg {
+            NaiveGatherMsg::Arb(inner) => {
+                let (out, deliveries) = self.hub.on_message(from, inner);
+                for m in out {
+                    ctx.broadcast(NaiveGatherMsg::Arb(m));
+                }
+                for d in deliveries {
+                    merge_pairs(&mut self.s, &[(d.origin, d.value)]);
+                }
+            }
+            NaiveGatherMsg::DistS(pairs) => {
+                if self.dist_s_from.insert(from) {
+                    merge_pairs(&mut self.t, &pairs);
+                }
+            }
+            NaiveGatherMsg::DistT(pairs) => {
+                if self.dist_t_from.insert(from) {
+                    merge_pairs(&mut self.u, &pairs);
+                }
+            }
+        }
+        self.advance(ctx);
+    }
+}
+
+/// The Appendix-A adversary: a delivery schedule under which every process's
+/// round conditions fire on **exactly its designated quorum**.
+///
+/// Rules (receiver `r`, designated quorum `Q(r)`):
+///
+/// * arb `SEND`/`ECHO` — always deliverable (the broadcast layer needs global
+///   cooperation);
+/// * arb `READY` for origin `o` — deliverable at `r` only if `o ∈ Q(r)`, so
+///   `r` arb-delivers exactly the values of its quorum;
+/// * `DISTRIBUTE_S` / `DISTRIBUTE_T` from `s` — deliverable at `r` only if
+///   `s ∈ Q(r)`.
+///
+/// Starved messages model "arbitrarily delayed"; after the observable run
+/// finishes, [`asym_sim::Simulation::flush_starved`] delivers them, which can
+/// no longer change the already-delivered `U` sets.
+#[derive(Clone, Debug)]
+pub struct Lemma32Scheduler {
+    /// Designated quorum of each process.
+    quorum_of: Vec<ProcessSet>,
+}
+
+impl Lemma32Scheduler {
+    /// Creates the scheduler from the designated quorum of each process.
+    pub fn new(quorum_of: Vec<ProcessSet>) -> Self {
+        Lemma32Scheduler { quorum_of }
+    }
+
+    fn allows<V>(&self, m: &InFlight<NaiveGatherMsg<V>>) -> bool {
+        let q = &self.quorum_of[m.to.index()];
+        match &m.msg {
+            NaiveGatherMsg::Arb(BcastMsg::Send { .. })
+            | NaiveGatherMsg::Arb(BcastMsg::Echo { .. }) => true,
+            NaiveGatherMsg::Arb(BcastMsg::Ready { origin, .. }) => q.contains(*origin),
+            NaiveGatherMsg::DistS(_) | NaiveGatherMsg::DistT(_) => q.contains(m.from),
+        }
+    }
+}
+
+impl<V> Scheduler<NaiveGatherMsg<V>> for Lemma32Scheduler {
+    fn next(&mut self, pending: &[InFlight<NaiveGatherMsg<V>>], _now: Step) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| self.allows(m))
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::find_common_core;
+    use crate::dataflow;
+    use asym_quorum::counterexample::{fig1_quorum_of, fig1_quorums, FIG1_N};
+    use asym_quorum::topology;
+    use asym_sim::{scheduler, Simulation};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn lemma_3_2_no_common_core_on_figure_1() {
+        // The headline negative result, as a full message-passing execution:
+        // running Algorithm 2 on the Figure-1 system under the Appendix-A
+        // schedule delivers U sets with NO common core.
+        let qs = fig1_quorums();
+        let quorum_of: Vec<ProcessSet> =
+            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let procs: Vec<NaiveGather<u64>> =
+            (0..FIG1_N).map(|i| NaiveGather::new(pid(i), qs.clone())).collect();
+        let mut sim = Simulation::new(procs, Lemma32Scheduler::new(quorum_of.clone()));
+        for i in 0..FIG1_N {
+            sim.input(pid(i), i as u64);
+        }
+        let report = sim.run(50_000_000);
+        assert!(report.quiescent, "adversarial run must reach quiescence");
+
+        // Every process delivered, and its U set matches Listing 1 exactly.
+        let expected = dataflow::three_rounds(&quorum_of);
+        let mut outputs: Vec<ValueSet<u64>> = Vec::new();
+        for i in 0..FIG1_N {
+            let out = sim.outputs(pid(i));
+            assert_eq!(out.len(), 1, "process {i} must ag-deliver exactly once");
+            let support: ProcessSet = out[0].keys().copied().collect();
+            assert_eq!(
+                support,
+                expected.u[i],
+                "U set of process {} diverges from Listing 1",
+                i + 1
+            );
+            outputs.push(out[0].clone());
+        }
+
+        // No common core: no process's S set is inside every U set.
+        let refs: Vec<(ProcessId, &ValueSet<u64>)> =
+            outputs.iter().enumerate().map(|(i, u)| (pid(i), u)).collect();
+        let core = find_common_core(&qs, &ProcessSet::full(FIG1_N), &refs);
+        assert!(core.is_none(), "Lemma 3.2 violated: found core {core:?}");
+    }
+
+    #[test]
+    fn naive_gather_succeeds_on_threshold_systems() {
+        // On uniform threshold systems Algorithm 2 degenerates to Algorithm 1
+        // and does reach a common core — the failure is specific to genuinely
+        // asymmetric systems.
+        for seed in 0..5 {
+            let n = 7;
+            let t = topology::uniform_threshold(n, 2);
+            let procs: Vec<NaiveGather<u64>> =
+                (0..n).map(|i| NaiveGather::new(pid(i), t.quorums.clone())).collect();
+            let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
+            for i in 0..n {
+                sim.input(pid(i), i as u64);
+            }
+            assert!(sim.run(10_000_000).quiescent);
+            let outputs: Vec<ValueSet<u64>> =
+                (0..n).map(|i| sim.outputs(pid(i))[0].clone()).collect();
+            let refs: Vec<(ProcessId, &ValueSet<u64>)> =
+                outputs.iter().enumerate().map(|(i, u)| (pid(i), u)).collect();
+            assert!(
+                find_common_core(&t.quorums, &ProcessSet::full(n), &refs).is_some(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_gather_on_fig1_under_fair_schedule_may_find_core() {
+        // Under a *fair* (random) schedule the Figure-1 system usually does
+        // reach a common core — the negative result needs the adversary.
+        // We only assert termination and agreement here.
+        let qs = fig1_quorums();
+        let procs: Vec<NaiveGather<u64>> =
+            (0..FIG1_N).map(|i| NaiveGather::new(pid(i), qs.clone())).collect();
+        let mut sim = Simulation::new(procs, scheduler::Random::new(11));
+        for i in 0..FIG1_N {
+            sim.input(pid(i), i as u64);
+        }
+        assert!(sim.run(50_000_000).quiescent);
+        for i in 0..FIG1_N {
+            assert_eq!(sim.outputs(pid(i)).len(), 1, "process {i} delivers");
+        }
+    }
+
+    #[test]
+    fn flushing_starved_messages_after_delivery_changes_nothing() {
+        // Outputs are final: late messages merge into local sets but cannot
+        // retract or alter what was ag-delivered.
+        let qs = fig1_quorums();
+        let quorum_of: Vec<ProcessSet> =
+            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let procs: Vec<NaiveGather<u64>> =
+            (0..FIG1_N).map(|i| NaiveGather::new(pid(i), qs.clone())).collect();
+        let mut sim = Simulation::new(procs, Lemma32Scheduler::new(quorum_of));
+        for i in 0..FIG1_N {
+            sim.input(pid(i), i as u64);
+        }
+        sim.run(50_000_000);
+        let before: Vec<Vec<ValueSet<u64>>> =
+            (0..FIG1_N).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+        sim.flush_starved(50_000_000);
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(sim.outputs(pid(i)), &b[..], "output mutated by flush");
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Asymmetric fail-prone systems and asymmetric Byzantine quorum systems
+//! (Damgård et al. / Alpos et al., paper §2.3).
+//!
+//! In the asymmetric model every process `p_i` carries its *own* fail-prone
+//! system `F_i` and its own quorum system `Q_i`. Soundness is captured by two
+//! global properties (Definition 2.1):
+//!
+//! * **Consistency** — any two quorums of any two processes intersect outside
+//!   every fail-prone set common to both processes;
+//! * **Availability** — every process has, for each of its fail-prone sets, a
+//!   quorum disjoint from it.
+//!
+//! The **B³ condition** (Definition 2.3) on the fail-prone systems is
+//! equivalent to the existence of an asymmetric quorum system (Theorem 2.4);
+//! [`AsymFailProneSystem::canonical_quorums`] realizes the canonical witness.
+
+use crate::{FailProneSystem, ProcessId, ProcessSet, QuorumError, QuorumSystem};
+
+/// An asymmetric fail-prone system `F = [F_1, …, F_n]`: one fail-prone system
+/// per process, all over the same universe of `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::{AsymFailProneSystem, FailProneSystem};
+///
+/// // Every process uses the same 1-of-4 threshold assumption: the symmetric
+/// // model embeds into the asymmetric one.
+/// let fps = AsymFailProneSystem::uniform(FailProneSystem::threshold(4, 1));
+/// assert!(fps.satisfies_b3());
+/// let qs = fps.canonical_quorums();
+/// assert!(qs.validate(&fps).is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsymFailProneSystem {
+    systems: Vec<FailProneSystem>,
+}
+
+impl AsymFailProneSystem {
+    /// Creates an asymmetric fail-prone system from one fail-prone system per
+    /// process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::Empty`] for an empty vector,
+    /// [`QuorumError::MismatchedUniverse`] if the per-process systems disagree
+    /// about `n`, and [`QuorumError::WrongLength`] if the number of systems is
+    /// not `n`.
+    pub fn new(systems: Vec<FailProneSystem>) -> Result<Self, QuorumError> {
+        if systems.is_empty() {
+            return Err(QuorumError::Empty);
+        }
+        let n = systems[0].n();
+        for s in &systems {
+            if s.n() != n {
+                return Err(QuorumError::MismatchedUniverse { expected: n, got: s.n() });
+            }
+        }
+        if systems.len() != n {
+            return Err(QuorumError::WrongLength { expected: n, got: systems.len() });
+        }
+        Ok(AsymFailProneSystem { systems })
+    }
+
+    /// Creates the asymmetric system in which every process uses the same
+    /// (symmetric) fail-prone system — the embedding of the threshold model.
+    pub fn uniform(fps: FailProneSystem) -> Self {
+        let n = fps.n();
+        AsymFailProneSystem { systems: vec![fps; n] }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// The fail-prone system of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    pub fn of(&self, p: ProcessId) -> &FailProneSystem {
+        &self.systems[p.index()]
+    }
+
+    /// Iterates over `(process, fail-prone system)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &FailProneSystem)> {
+        self.systems.iter().enumerate().map(|(i, s)| (ProcessId::new(i), s))
+    }
+
+    /// Returns `true` if process `p` *correctly foresees* the failure set
+    /// `faulty`, i.e. `faulty ∈ F_p*`.
+    pub fn foresees(&self, p: ProcessId, faulty: &ProcessSet) -> bool {
+        self.of(p).covers(faulty)
+    }
+
+    /// Checks the **B³ condition** (Definition 2.3):
+    /// `∀i,j, ∀F_i ∈ F_i, ∀F_j ∈ F_j, ∀F_ij ∈ F_i* ∩ F_j*: P ⊄ F_i ∪ F_j ∪ F_ij`.
+    pub fn satisfies_b3(&self) -> bool {
+        self.b3_violation().is_none()
+    }
+
+    /// Returns a witness of a B³ violation, or `None` if B³ holds.
+    ///
+    /// The maximal elements of `F_i* ∩ F_j*` are the pairwise intersections of
+    /// maximal sets, so quantifying over those suffices.
+    ///
+    /// Fast path: if every process uses a threshold system, B³ reduces to
+    /// `∀i,j: f_i + f_j + min(f_i, f_j) < n`.
+    pub fn b3_violation(&self) -> Option<QuorumError> {
+        let n = self.n();
+        // Fast path for all-threshold systems.
+        let thresholds: Option<Vec<usize>> = self
+            .systems
+            .iter()
+            .map(|s| match s {
+                FailProneSystem::Threshold { f, .. } => Some(*f),
+                FailProneSystem::Explicit { .. } | FailProneSystem::SliceThreshold { .. } => None,
+            })
+            .collect();
+        if let Some(fs) = thresholds {
+            for i in 0..n {
+                for j in i..n {
+                    let (fi, fj) = (fs[i], fs[j]);
+                    if fi + fj + fi.min(fj) >= n {
+                        // Build a concrete witness: three disjoint-ish slices.
+                        let a = ProcessSet::from_indices(0..fi.min(n));
+                        let b = ProcessSet::from_indices(fi..(fi + fj).min(n));
+                        let rest: Vec<usize> =
+                            ((fi + fj).min(n)..n).chain(0..fi.min(fj)).collect();
+                        let c: ProcessSet =
+                            rest.into_iter().take(fi.min(fj)).collect();
+                        return Some(QuorumError::B3Violation {
+                            i: ProcessId::new(i),
+                            j: ProcessId::new(j),
+                            fi: a,
+                            fj: b,
+                            fij: c,
+                        });
+                    }
+                }
+            }
+            return None;
+        }
+
+        let full = ProcessSet::full(n);
+        let maximal: Vec<Vec<ProcessSet>> =
+            self.systems.iter().map(FailProneSystem::maximal_sets).collect();
+        for i in 0..n {
+            for j in i..n {
+                // Maximal common fail-prone sets of (i, j).
+                let mut common: Vec<ProcessSet> = Vec::new();
+                for a in &maximal[i] {
+                    for b in &maximal[j] {
+                        common.push(a.intersection(b));
+                    }
+                }
+                crate::combinatorics::retain_maximal(&mut common);
+                for fi in &maximal[i] {
+                    for fj in &maximal[j] {
+                        let union = fi.union(fj);
+                        for fij in &common {
+                            if union.union(fij) == full {
+                                return Some(QuorumError::B3Violation {
+                                    i: ProcessId::new(i),
+                                    j: ProcessId::new(j),
+                                    fi: fi.clone(),
+                                    fj: fj.clone(),
+                                    fij: fij.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns the canonical asymmetric quorum system: for each process, the
+    /// complements of its maximal fail-prone sets.
+    ///
+    /// By Theorem 2.4 this satisfies consistency and availability whenever B³
+    /// holds.
+    pub fn canonical_quorums(&self) -> AsymQuorumSystem {
+        AsymQuorumSystem {
+            systems: self.systems.iter().map(FailProneSystem::canonical_quorums).collect(),
+        }
+    }
+}
+
+/// An asymmetric Byzantine quorum system `Q = [Q_1, …, Q_n]` (Definition 2.1).
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet, QuorumSystem};
+///
+/// let qs = AsymQuorumSystem::uniform(QuorumSystem::threshold(4, 3));
+/// let p0 = ProcessId::new(0);
+/// assert!(qs.contains_quorum_for(p0, &ProcessSet::from_indices([1, 2, 3])));
+/// assert!(qs.hits_kernel_for(p0, &ProcessSet::from_indices([0, 1])));
+/// assert_eq!(qs.min_quorum_size(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsymQuorumSystem {
+    systems: Vec<QuorumSystem>,
+}
+
+impl AsymQuorumSystem {
+    /// Creates an asymmetric quorum system from one quorum system per process.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`AsymFailProneSystem::new`].
+    pub fn new(systems: Vec<QuorumSystem>) -> Result<Self, QuorumError> {
+        if systems.is_empty() {
+            return Err(QuorumError::Empty);
+        }
+        let n = systems[0].n();
+        for s in &systems {
+            if s.n() != n {
+                return Err(QuorumError::MismatchedUniverse { expected: n, got: s.n() });
+            }
+        }
+        if systems.len() != n {
+            return Err(QuorumError::WrongLength { expected: n, got: systems.len() });
+        }
+        Ok(AsymQuorumSystem { systems })
+    }
+
+    /// Creates the asymmetric system in which every process uses the same
+    /// quorum system — the embedding of the threshold model.
+    pub fn uniform(qs: QuorumSystem) -> Self {
+        let n = qs.n();
+        AsymQuorumSystem { systems: vec![qs; n] }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// The quorum system of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    pub fn of(&self, p: ProcessId) -> &QuorumSystem {
+        &self.systems[p.index()]
+    }
+
+    /// Iterates over `(process, quorum system)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &QuorumSystem)> {
+        self.systems.iter().enumerate().map(|(i, s)| (ProcessId::new(i), s))
+    }
+
+    /// `∃Q ∈ Q_p: Q ⊆ observed` — the round-advancement test of every
+    /// protocol in the paper (written `Q_p |= observed` there).
+    pub fn contains_quorum_for(&self, p: ProcessId, observed: &ProcessSet) -> bool {
+        self.of(p).contains_quorum(observed)
+    }
+
+    /// Returns some quorum of `p` contained in `observed`, if any.
+    pub fn find_quorum_for(&self, p: ProcessId, observed: &ProcessSet) -> Option<ProcessSet> {
+        self.of(p).find_quorum(observed)
+    }
+
+    /// `∃K ∈ K_p: K ⊆ observed` — `observed` contains a kernel for `p`
+    /// (equivalently: intersects every quorum of `p`). This is the
+    /// Bracha-style amplification test.
+    pub fn hits_kernel_for(&self, p: ProcessId, observed: &ProcessSet) -> bool {
+        self.of(p).is_kernel(observed)
+    }
+
+    /// `∃Q ∈ Q_j for ANY process j: Q ⊆ observed` — used by the asymmetric
+    /// DAG-Rider commit rule (Algorithm 6, line 148), which accepts a quorum
+    /// of *any* participant.
+    pub fn contains_quorum_for_any(&self, observed: &ProcessSet) -> Option<(ProcessId, ProcessSet)> {
+        for (i, qs) in self.systems.iter().enumerate() {
+            if let Some(q) = qs.find_quorum(observed) {
+                return Some((ProcessId::new(i), q));
+            }
+        }
+        None
+    }
+
+    /// Size of the smallest quorum of any process — `c(Q)` in Lemma 4.4.
+    pub fn min_quorum_size(&self) -> usize {
+        self.systems.iter().map(QuorumSystem::min_quorum_size).min().unwrap_or(0)
+    }
+
+    /// Checks asymmetric quorum **consistency** (Definition 2.1) against a
+    /// fail-prone system:
+    /// `∀i,j, ∀Q_i ∈ Q_i, ∀Q_j ∈ Q_j, ∀F_ij ∈ F_i* ∩ F_j*: Q_i ∩ Q_j ⊄ F_ij`.
+    ///
+    /// Enumerates minimal quorums and maximal common fail-prone sets; intended
+    /// for explicit systems or small thresholds. For uniform threshold systems
+    /// the symmetric fast path is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_consistency(&self, fps: &AsymFailProneSystem) -> Result<(), QuorumError> {
+        let n = self.n();
+        if n != fps.n() {
+            return Err(QuorumError::MismatchedUniverse { expected: fps.n(), got: n });
+        }
+        // Fast path: all processes share one threshold quorum/fail-prone pair.
+        if let (QuorumSystem::Threshold { .. }, FailProneSystem::Threshold { .. }) =
+            (&self.systems[0], &fps.systems[0])
+        {
+            let all_same = self.systems.iter().all(|s| *s == self.systems[0])
+                && fps.systems.iter().all(|s| *s == fps.systems[0]);
+            if all_same {
+                return self.systems[0].check_consistency(&fps.systems[0]);
+            }
+        }
+
+        let quorums: Vec<Vec<ProcessSet>> =
+            self.systems.iter().map(QuorumSystem::minimal_quorums).collect();
+        let maximal: Vec<Vec<ProcessSet>> =
+            fps.systems.iter().map(FailProneSystem::maximal_sets).collect();
+        for i in 0..n {
+            for j in i..n {
+                let mut common: Vec<ProcessSet> = Vec::new();
+                for a in &maximal[i] {
+                    for b in &maximal[j] {
+                        common.push(a.intersection(b));
+                    }
+                }
+                crate::combinatorics::retain_maximal(&mut common);
+                for qi in &quorums[i] {
+                    for qj in &quorums[j] {
+                        let inter = qi.intersection(qj);
+                        for fij in &common {
+                            if inter.is_subset(fij) {
+                                return Err(QuorumError::ConsistencyViolation {
+                                    i: ProcessId::new(i),
+                                    j: ProcessId::new(j),
+                                    qi: qi.clone(),
+                                    qj: qj.clone(),
+                                    fij: fij.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks asymmetric quorum **availability** (Definition 2.1):
+    /// `∀i, ∀F_i ∈ F_i: ∃Q_i ∈ Q_i: F_i ∩ Q_i = ∅`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first process/fail-prone set with no disjoint quorum.
+    pub fn check_availability(&self, fps: &AsymFailProneSystem) -> Result<(), QuorumError> {
+        let n = self.n();
+        if n != fps.n() {
+            return Err(QuorumError::MismatchedUniverse { expected: fps.n(), got: n });
+        }
+        for i in 0..n {
+            match (&self.systems[i], &fps.systems[i]) {
+                (QuorumSystem::Threshold { q, .. }, FailProneSystem::Threshold { f, .. }) => {
+                    if q + f > n {
+                        return Err(QuorumError::AvailabilityViolation {
+                            process: ProcessId::new(i),
+                            fail_prone: ProcessSet::from_indices(0..*f),
+                        });
+                    }
+                }
+                _ => {
+                    let quorums = self.systems[i].minimal_quorums();
+                    for fset in fps.systems[i].maximal_sets() {
+                        if !quorums.iter().any(|q| q.is_disjoint(&fset)) {
+                            return Err(QuorumError::AvailabilityViolation {
+                                process: ProcessId::new(i),
+                                fail_prone: fset,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates both defining properties against `fps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first consistency or availability violation.
+    pub fn validate(&self, fps: &AsymFailProneSystem) -> Result<(), QuorumError> {
+        self.check_consistency(fps)?;
+        self.check_availability(fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> ProcessSet {
+        ProcessSet::from_indices(ids.iter().copied())
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert_eq!(AsymFailProneSystem::new(vec![]), Err(QuorumError::Empty));
+        let err = AsymFailProneSystem::new(vec![
+            FailProneSystem::threshold(4, 1),
+            FailProneSystem::threshold(5, 1),
+        ]);
+        assert!(matches!(err, Err(QuorumError::MismatchedUniverse { .. })));
+        let err = AsymFailProneSystem::new(vec![FailProneSystem::threshold(4, 1); 3]);
+        assert!(matches!(err, Err(QuorumError::WrongLength { expected: 4, got: 3 })));
+        assert!(AsymFailProneSystem::new(vec![FailProneSystem::threshold(4, 1); 4]).is_ok());
+    }
+
+    #[test]
+    fn uniform_threshold_b3_matches_n_gt_3f() {
+        assert!(AsymFailProneSystem::uniform(FailProneSystem::threshold(4, 1)).satisfies_b3());
+        assert!(AsymFailProneSystem::uniform(FailProneSystem::threshold(10, 3)).satisfies_b3());
+        assert!(!AsymFailProneSystem::uniform(FailProneSystem::threshold(9, 3)).satisfies_b3());
+        assert!(!AsymFailProneSystem::uniform(FailProneSystem::threshold(3, 1)).satisfies_b3());
+    }
+
+    #[test]
+    fn mixed_threshold_b3() {
+        // n = 10; one paranoid process (f=1), others f=3: fi+fj+min = 3+3+3=9 < 10 OK
+        let mut systems = vec![FailProneSystem::threshold(10, 3); 10];
+        systems[0] = FailProneSystem::threshold(10, 1);
+        assert!(AsymFailProneSystem::new(systems).unwrap().satisfies_b3());
+        // One reckless process (f=5): 5+3+3=11 ≥ 10 violates.
+        let mut systems = vec![FailProneSystem::threshold(10, 3); 10];
+        systems[0] = FailProneSystem::threshold(10, 5);
+        let fps = AsymFailProneSystem::new(systems).unwrap();
+        assert!(!fps.satisfies_b3());
+        assert!(matches!(fps.b3_violation(), Some(QuorumError::B3Violation { .. })));
+    }
+
+    #[test]
+    fn explicit_b3_with_witness() {
+        // 3 processes, each believing only itself correct beyond one other:
+        // F_i = {P \ {i}} — clearly violates B3.
+        let systems: Vec<FailProneSystem> = (0..3)
+            .map(|i| {
+                FailProneSystem::explicit(3, vec![ProcessSet::full(3).difference(&set(&[i]))])
+                    .unwrap()
+            })
+            .collect();
+        let fps = AsymFailProneSystem::new(systems).unwrap();
+        let v = fps.b3_violation().unwrap();
+        if let QuorumError::B3Violation { fi, fj, fij, .. } = v {
+            assert_eq!(fi.union(&fj).union(&fij), ProcessSet::full(3));
+        } else {
+            panic!("wrong violation type");
+        }
+    }
+
+    #[test]
+    fn canonical_quorums_of_threshold_valid() {
+        let fps = AsymFailProneSystem::uniform(FailProneSystem::threshold(7, 2));
+        let qs = fps.canonical_quorums();
+        assert!(qs.validate(&fps).is_ok());
+        assert_eq!(qs.min_quorum_size(), 5);
+    }
+
+    #[test]
+    fn theorem_2_4_on_small_explicit_systems() {
+        // B3 holds ⟹ canonical quorums are consistent + available.
+        let mk = |sets: Vec<Vec<usize>>| {
+            FailProneSystem::explicit(
+                4,
+                sets.into_iter().map(ProcessSet::from_indices).collect(),
+            )
+            .unwrap()
+        };
+        let systems = vec![
+            mk(vec![vec![1], vec![2]]),
+            mk(vec![vec![0], vec![3]]),
+            mk(vec![vec![3]]),
+            mk(vec![vec![0], vec![1]]),
+        ];
+        let fps = AsymFailProneSystem::new(systems).unwrap();
+        assert!(fps.satisfies_b3());
+        let qs = fps.canonical_quorums();
+        assert!(qs.validate(&fps).is_ok());
+    }
+
+    #[test]
+    fn consistency_violation_detected() {
+        // Two processes with disjoint quorums.
+        let q0 = QuorumSystem::explicit(4, vec![set(&[0, 1])]).unwrap();
+        let q1 = QuorumSystem::explicit(4, vec![set(&[2, 3])]).unwrap();
+        let qs = AsymQuorumSystem::new(vec![q0.clone(), q1, q0.clone(), q0]).unwrap();
+        let fps = AsymFailProneSystem::uniform(
+            FailProneSystem::explicit(4, vec![ProcessSet::new()]).unwrap(),
+        );
+        // Even with empty fail-prone sets, ∅ ⊆ F_ij = ∅ — disjoint quorums
+        // intersect in ∅ ⊆ ∅, violating consistency.
+        assert!(matches!(
+            qs.check_consistency(&fps),
+            Err(QuorumError::ConsistencyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn availability_violation_detected() {
+        let q = QuorumSystem::explicit(3, vec![set(&[0, 1, 2])]).unwrap();
+        let qs = AsymQuorumSystem::uniform(q);
+        let fps = AsymFailProneSystem::uniform(
+            FailProneSystem::explicit(3, vec![set(&[0])]).unwrap(),
+        );
+        assert!(matches!(
+            qs.check_availability(&fps),
+            Err(QuorumError::AvailabilityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn quorum_queries() {
+        let qs = AsymQuorumSystem::uniform(QuorumSystem::threshold(4, 3));
+        let p = ProcessId::new(1);
+        assert!(qs.contains_quorum_for(p, &set(&[0, 1, 2])));
+        assert!(qs.find_quorum_for(p, &set(&[0, 1])).is_none());
+        let (j, q) = qs.contains_quorum_for_any(&set(&[1, 2, 3])).unwrap();
+        assert_eq!(j, ProcessId::new(0));
+        assert_eq!(q.len(), 3);
+        assert!(qs.contains_quorum_for_any(&set(&[1, 2])).is_none());
+    }
+
+    #[test]
+    fn uniform_threshold_consistency_fast_path() {
+        let fps = AsymFailProneSystem::uniform(FailProneSystem::threshold(31, 10));
+        let qs = fps.canonical_quorums();
+        // Large n: must finish fast (fast path, no enumeration).
+        assert!(qs.validate(&fps).is_ok());
+    }
+}

@@ -1,0 +1,198 @@
+//! The 30-process counterexample of the paper (Figure 1 / Appendix A).
+//!
+//! Each of the 30 processes has exactly **one** quorum (listed in the paper's
+//! Listing 1) and one fail-prone set — the complement of that quorum
+//! ("canonical" association). The system satisfies the B³ condition, so by
+//! Theorem 2.4 it is a valid asymmetric quorum system; nevertheless, running
+//! the quorum-replacement gather (Algorithm 2) on it reaches **no common
+//! core** — the paper's Lemma 3.2.
+//!
+//! The paper notes that at least 16 processes are required for any such
+//! counterexample; this is the published 30-process instance, reproduced
+//! digit-for-digit from Listing 1.
+
+use crate::{
+    AsymFailProneSystem, AsymQuorumSystem, FailProneSystem, ProcessId, ProcessSet, QuorumSystem,
+};
+
+/// Number of processes in the Figure-1 counterexample.
+pub const FIG1_N: usize = 30;
+
+/// The single quorum of each process, using the paper's **one-based** labels,
+/// exactly as printed in Listing 1.
+pub const FIG1_QUORUMS_1BASED: [[usize; 6]; FIG1_N] = [
+    [1, 2, 3, 4, 5, 16],   // quorum of process 1
+    [1, 6, 7, 8, 9, 17],   // 2
+    [1, 2, 3, 4, 5, 18],   // 3
+    [1, 6, 7, 8, 9, 19],   // 4
+    [2, 6, 10, 11, 12, 20],// 5
+    [4, 8, 11, 13, 15, 21],// 6
+    [4, 8, 11, 13, 15, 22],// 7
+    [5, 9, 12, 14, 15, 23],// 8
+    [5, 9, 12, 14, 15, 24],// 9
+    [4, 8, 11, 13, 15, 25],// 10
+    [1, 6, 7, 8, 9, 26],   // 11
+    [2, 6, 10, 11, 12, 27],// 12
+    [3, 7, 10, 13, 14, 28],// 13
+    [3, 7, 10, 13, 14, 29],// 14
+    [5, 9, 12, 14, 15, 30],// 15
+    [1, 2, 3, 4, 5, 16],   // 16
+    [1, 2, 3, 4, 5, 16],   // 17
+    [1, 2, 3, 4, 5, 16],   // 18
+    [1, 2, 3, 4, 5, 16],   // 19
+    [1, 6, 7, 8, 9, 27],   // 20
+    [1, 6, 7, 8, 9, 27],   // 21
+    [1, 6, 7, 8, 9, 20],   // 22
+    [2, 6, 10, 11, 12, 30],// 23
+    [2, 6, 10, 11, 12, 30],// 24
+    [1, 6, 7, 8, 9, 22],   // 25
+    [1, 2, 3, 4, 5, 16],   // 26
+    [1, 6, 7, 8, 9, 27],   // 27
+    [1, 2, 3, 4, 5, 16],   // 28
+    [1, 2, 3, 4, 5, 29],   // 29
+    [2, 6, 10, 11, 12, 30],// 30
+];
+
+/// Returns the single (zero-based) quorum of process `p` in the Figure-1
+/// system.
+///
+/// # Panics
+///
+/// Panics if `p.index() >= 30`.
+pub fn fig1_quorum_of(p: ProcessId) -> ProcessSet {
+    ProcessSet::from_paper_labels(FIG1_QUORUMS_1BASED[p.index()])
+}
+
+/// Builds the asymmetric quorum system of Figure 1: one explicit quorum per
+/// process.
+pub fn fig1_quorums() -> AsymQuorumSystem {
+    let systems: Vec<QuorumSystem> = (0..FIG1_N)
+        .map(|i| {
+            QuorumSystem::explicit(FIG1_N, vec![fig1_quorum_of(ProcessId::new(i))])
+                .expect("figure-1 quorums are valid")
+        })
+        .collect();
+    AsymQuorumSystem::new(systems).expect("figure-1 system is well-formed")
+}
+
+/// Builds the asymmetric fail-prone system of Figure 1: each process's single
+/// fail-prone set is the complement of its quorum.
+pub fn fig1_fail_prone() -> AsymFailProneSystem {
+    let systems: Vec<FailProneSystem> = (0..FIG1_N)
+        .map(|i| {
+            let f = fig1_quorum_of(ProcessId::new(i)).complement(FIG1_N);
+            FailProneSystem::explicit(FIG1_N, vec![f]).expect("figure-1 fail-prone sets are valid")
+        })
+        .collect();
+    AsymFailProneSystem::new(systems).expect("figure-1 system is well-formed")
+}
+
+/// Renders a Figure-1-style grid: one row per process (top row = process `n`,
+/// as in the paper), one column per process; `■` marks set membership.
+///
+/// `sets[i]` is the set shown on the row of process `i + 1` (paper label).
+pub fn render_grid(sets: &[ProcessSet]) -> String {
+    let n = sets.len();
+    let mut out = String::new();
+    out.push_str("    ");
+    for col in 1..=n {
+        out.push_str(&format!("{:>3}", col));
+    }
+    out.push('\n');
+    for row in (0..n).rev() {
+        out.push_str(&format!("{:>3} ", row + 1));
+        for col in 0..n {
+            let mark = if sets[row].contains(ProcessId::new(col)) { "  ■" } else { "  ·" };
+            out.push_str(mark);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_guild, maximal_guild, wise_processes};
+
+    #[test]
+    fn every_quorum_has_six_members() {
+        for i in 0..FIG1_N {
+            assert_eq!(fig1_quorum_of(ProcessId::new(i)).len(), 6, "process {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn satisfies_b3() {
+        // The paper: "This fail-prone system satisfies the B3 condition."
+        let fps = fig1_fail_prone();
+        assert!(fps.satisfies_b3(), "{:?}", fps.b3_violation());
+    }
+
+    #[test]
+    fn quorums_are_the_canonical_system_and_valid() {
+        let fps = fig1_fail_prone();
+        let qs = fig1_quorums();
+        assert_eq!(fps.canonical_quorums(), qs);
+        // Theorem 2.4: B3 ⟹ the canonical system is a valid asymmetric
+        // Byzantine quorum system.
+        qs.validate(&fps).expect("figure-1 quorum system must be consistent and available");
+    }
+
+    #[test]
+    fn all_pairs_of_quorums_intersect() {
+        // For single-quorum-per-process canonical systems, consistency
+        // degenerates to pairwise non-empty intersection.
+        for i in 0..FIG1_N {
+            for j in 0..FIG1_N {
+                let qi = fig1_quorum_of(ProcessId::new(i));
+                let qj = fig1_quorum_of(ProcessId::new(j));
+                assert!(qi.intersects(&qj), "quorums of {} and {} disjoint", i + 1, j + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_free_execution_has_full_guild() {
+        // Appendix A: "we will assume that all processes are correct,
+        // therefore wise, and the maximal guild is composed by all 30."
+        let fps = fig1_fail_prone();
+        let qs = fig1_quorums();
+        let faulty = ProcessSet::new();
+        assert_eq!(wise_processes(&fps, &faulty), ProcessSet::full(FIG1_N));
+        let guild = maximal_guild(&fps, &qs, &faulty).unwrap();
+        assert_eq!(guild, ProcessSet::full(FIG1_N));
+        assert!(is_guild(&fps, &qs, &faulty, &guild));
+    }
+
+    #[test]
+    fn every_quorum_contains_a_member_in_16_to_30() {
+        // Appendix A's key observation: "all quorums of all processes contain
+        // at least one element in the range [16, 30]".
+        let tail = ProcessSet::from_paper_labels(16..=30);
+        for i in 0..FIG1_N {
+            assert!(
+                fig1_quorum_of(ProcessId::new(i)).intersects(&tail),
+                "quorum of {} misses the tail range",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn min_quorum_size_is_six() {
+        assert_eq!(fig1_quorums().min_quorum_size(), 6);
+    }
+
+    #[test]
+    fn grid_renders_every_process_row() {
+        let sets: Vec<ProcessSet> =
+            (0..FIG1_N).map(|i| fig1_quorum_of(ProcessId::new(i))).collect();
+        let grid = render_grid(&sets);
+        assert_eq!(grid.lines().count(), FIG1_N + 1);
+        // Row of process 1 (last line) must mark columns 1..5 and 16.
+        let last = grid.lines().last().unwrap();
+        assert!(last.starts_with("  1"));
+        assert_eq!(last.matches('■').count(), 6);
+    }
+}

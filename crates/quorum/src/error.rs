@@ -1,0 +1,141 @@
+//! Error type for quorum-system construction and validation.
+
+use core::fmt;
+
+use crate::{ProcessId, ProcessSet};
+
+/// Errors produced when constructing or validating (asymmetric) quorum
+/// systems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuorumError {
+    /// The per-process array has the wrong length (must equal `n`).
+    WrongLength {
+        /// Expected number of per-process entries (`n`).
+        expected: usize,
+        /// Number of entries provided.
+        got: usize,
+    },
+    /// Two components disagree about the universe size `n`.
+    MismatchedUniverse {
+        /// Universe size of the first component.
+        expected: usize,
+        /// Universe size of the offending component.
+        got: usize,
+    },
+    /// A set mentions a process outside the universe.
+    OutOfRange {
+        /// The offending set.
+        set: ProcessSet,
+        /// Universe size.
+        n: usize,
+    },
+    /// A fail-prone or quorum system was given no sets at all.
+    Empty,
+    /// A quorum system contains an empty quorum (trivially unsound).
+    EmptyQuorum {
+        /// Process whose quorum system is unsound.
+        process: ProcessId,
+    },
+    /// The B³ condition (Definition 2.3) is violated.
+    B3Violation {
+        /// First process of the violating pair.
+        i: ProcessId,
+        /// Second process of the violating pair.
+        j: ProcessId,
+        /// Fail-prone set of `i` witnessing the violation.
+        fi: ProcessSet,
+        /// Fail-prone set of `j` witnessing the violation.
+        fj: ProcessSet,
+        /// Common fail-prone set witnessing the violation.
+        fij: ProcessSet,
+    },
+    /// The symmetric Q³ condition is violated.
+    Q3Violation {
+        /// Three fail-prone sets covering the whole universe.
+        witness: [ProcessSet; 3],
+    },
+    /// Quorum consistency (Definition 2.1) is violated.
+    ConsistencyViolation {
+        /// First process of the violating pair.
+        i: ProcessId,
+        /// Second process of the violating pair.
+        j: ProcessId,
+        /// Quorum of `i`.
+        qi: ProcessSet,
+        /// Quorum of `j`.
+        qj: ProcessSet,
+        /// Common fail-prone set containing the whole intersection.
+        fij: ProcessSet,
+    },
+    /// Quorum availability (Definition 2.1) is violated.
+    AvailabilityViolation {
+        /// The process lacking a quorum.
+        process: ProcessId,
+        /// The fail-prone set no quorum avoids.
+        fail_prone: ProcessSet,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::WrongLength { expected, got } => {
+                write!(f, "expected {expected} per-process entries, got {got}")
+            }
+            QuorumError::MismatchedUniverse { expected, got } => {
+                write!(f, "mismatched universe sizes: {expected} vs {got}")
+            }
+            QuorumError::OutOfRange { set, n } => {
+                write!(f, "set {set} mentions a process outside the universe of size {n}")
+            }
+            QuorumError::Empty => write!(f, "system contains no sets"),
+            QuorumError::EmptyQuorum { process } => {
+                write!(f, "quorum system of {process} contains an empty quorum")
+            }
+            QuorumError::B3Violation { i, j, fi, fj, fij } => write!(
+                f,
+                "B3 violated for ({i}, {j}): {fi} ∪ {fj} ∪ {fij} covers all processes"
+            ),
+            QuorumError::Q3Violation { witness } => write!(
+                f,
+                "Q3 violated: {} ∪ {} ∪ {} covers all processes",
+                witness[0], witness[1], witness[2]
+            ),
+            QuorumError::ConsistencyViolation { i, j, qi, qj, fij } => write!(
+                f,
+                "quorum consistency violated for ({i}, {j}): {qi} ∩ {qj} ⊆ {fij}"
+            ),
+            QuorumError::AvailabilityViolation { process, fail_prone } => write!(
+                f,
+                "quorum availability violated for {process}: no quorum avoids {fail_prone}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = QuorumError::WrongLength { expected: 4, got: 3 };
+        assert!(e.to_string().contains("expected 4"));
+
+        let e = QuorumError::AvailabilityViolation {
+            process: ProcessId::new(2),
+            fail_prone: ProcessSet::from_indices([0, 1]),
+        };
+        let s = e.to_string();
+        assert!(s.contains("p2") && s.contains("{0, 1}"), "{s}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<QuorumError>();
+    }
+}

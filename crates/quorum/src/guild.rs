@@ -1,0 +1,243 @@
+//! Process classification (faulty / naive / wise) and guilds (paper §2.3,
+//! Definition 2.2).
+//!
+//! Given the *actual* set of faulty processes `F` of an execution — known only
+//! to an outside observer — every process falls into one of three classes:
+//!
+//! * **faulty** — a member of `F`;
+//! * **wise** — correct and `F ∈ F_i*` (its trust assumption foresaw `F`);
+//! * **naive** — correct but `F ∉ F_i*` ("chose the wrong friends").
+//!
+//! A **guild** is a set of wise processes containing one quorum for each
+//! member; all liveness and safety guarantees of the paper's protocols are
+//! stated for the members of the *maximal* guild.
+
+use crate::{AsymFailProneSystem, AsymQuorumSystem, ProcessId, ProcessSet};
+
+/// Observer-level classification of a process with respect to the actual
+/// failure set of an execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcessClass {
+    /// The process is in the actual failure set `F`.
+    Faulty,
+    /// The process is correct but its fail-prone system does not cover `F`.
+    Naive,
+    /// The process is correct and `F ∈ F_i*`.
+    Wise,
+}
+
+impl core::fmt::Display for ProcessClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ProcessClass::Faulty => "faulty",
+            ProcessClass::Naive => "naive",
+            ProcessClass::Wise => "wise",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies one process with respect to the actual failure set.
+pub fn classify(
+    fps: &AsymFailProneSystem,
+    faulty: &ProcessSet,
+    p: ProcessId,
+) -> ProcessClass {
+    if faulty.contains(p) {
+        ProcessClass::Faulty
+    } else if fps.foresees(p, faulty) {
+        ProcessClass::Wise
+    } else {
+        ProcessClass::Naive
+    }
+}
+
+/// Returns the set of wise processes for the given failure set.
+pub fn wise_processes(fps: &AsymFailProneSystem, faulty: &ProcessSet) -> ProcessSet {
+    (0..fps.n())
+        .map(ProcessId::new)
+        .filter(|p| classify(fps, faulty, *p) == ProcessClass::Wise)
+        .collect()
+}
+
+/// Returns `true` if `candidate` is a guild for `(fps, qs)` under the given
+/// failure set: all members wise, and each member has a quorum inside the set
+/// (Definition 2.2: wisdom + closure).
+pub fn is_guild(
+    fps: &AsymFailProneSystem,
+    qs: &AsymQuorumSystem,
+    faulty: &ProcessSet,
+    candidate: &ProcessSet,
+) -> bool {
+    if candidate.is_empty() {
+        return false;
+    }
+    candidate.iter().all(|p| {
+        classify(fps, faulty, p) == ProcessClass::Wise && qs.contains_quorum_for(p, candidate)
+    })
+}
+
+/// Computes the **maximal guild** for the given failure set, or `None` if no
+/// guild exists.
+///
+/// The maximal guild is the greatest fixpoint of "remove every process
+/// without a quorum inside the current set", started from the set of wise
+/// processes; the union of any two guilds is a guild, so the fixpoint is the
+/// unique maximal one.
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::{
+///     maximal_guild, AsymFailProneSystem, FailProneSystem, ProcessSet,
+/// };
+///
+/// let fps = AsymFailProneSystem::uniform(FailProneSystem::threshold(4, 1));
+/// let qs = fps.canonical_quorums();
+/// let faulty = ProcessSet::from_indices([3]);
+/// let guild = maximal_guild(&fps, &qs, &faulty).unwrap();
+/// assert_eq!(guild, ProcessSet::from_indices([0, 1, 2]));
+/// ```
+pub fn maximal_guild(
+    fps: &AsymFailProneSystem,
+    qs: &AsymQuorumSystem,
+    faulty: &ProcessSet,
+) -> Option<ProcessSet> {
+    let mut guild = wise_processes(fps, faulty);
+    loop {
+        let lacking: Vec<ProcessId> = guild
+            .iter()
+            .filter(|p| !qs.contains_quorum_for(*p, &guild))
+            .collect();
+        if lacking.is_empty() {
+            break;
+        }
+        for p in lacking {
+            guild.remove(p);
+        }
+    }
+    if guild.is_empty() {
+        None
+    } else {
+        debug_assert!(is_guild(fps, qs, faulty, &guild));
+        Some(guild)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailProneSystem, QuorumSystem};
+
+    fn set(ids: &[usize]) -> ProcessSet {
+        ProcessSet::from_indices(ids.iter().copied())
+    }
+
+    fn threshold_system(n: usize, f: usize) -> (AsymFailProneSystem, AsymQuorumSystem) {
+        let fps = AsymFailProneSystem::uniform(FailProneSystem::threshold(n, f));
+        let qs = fps.canonical_quorums();
+        (fps, qs)
+    }
+
+    #[test]
+    fn classification_threshold() {
+        let (fps, _) = threshold_system(4, 1);
+        let faulty = set(&[3]);
+        assert_eq!(classify(&fps, &faulty, ProcessId::new(3)), ProcessClass::Faulty);
+        for i in 0..3 {
+            assert_eq!(classify(&fps, &faulty, ProcessId::new(i)), ProcessClass::Wise);
+        }
+        // Two failures exceed everyone's assumption: correct processes naive.
+        let faulty = set(&[2, 3]);
+        assert_eq!(classify(&fps, &faulty, ProcessId::new(0)), ProcessClass::Naive);
+        assert_eq!(wise_processes(&fps, &faulty), ProcessSet::new());
+    }
+
+    #[test]
+    fn classification_display() {
+        assert_eq!(ProcessClass::Wise.to_string(), "wise");
+        assert_eq!(ProcessClass::Naive.to_string(), "naive");
+        assert_eq!(ProcessClass::Faulty.to_string(), "faulty");
+    }
+
+    #[test]
+    fn maximal_guild_threshold_no_faults() {
+        let (fps, qs) = threshold_system(4, 1);
+        let guild = maximal_guild(&fps, &qs, &ProcessSet::new()).unwrap();
+        assert_eq!(guild, ProcessSet::full(4));
+    }
+
+    #[test]
+    fn maximal_guild_threshold_with_fault() {
+        let (fps, qs) = threshold_system(7, 2);
+        let guild = maximal_guild(&fps, &qs, &set(&[0, 1])).unwrap();
+        assert_eq!(guild, set(&[2, 3, 4, 5, 6]));
+        // Exceeding the threshold destroys all guilds.
+        assert_eq!(maximal_guild(&fps, &qs, &set(&[0, 1, 2])), None);
+    }
+
+    #[test]
+    fn naive_processes_excluded_from_guild() {
+        // 4 processes. p0..p2 assume {3} may fail; p3 assumes {0} may fail.
+        let f_a = FailProneSystem::explicit(4, vec![set(&[3])]).unwrap();
+        let f_b = FailProneSystem::explicit(4, vec![set(&[0])]).unwrap();
+        let fps = AsymFailProneSystem::new(vec![
+            f_a.clone(),
+            f_a.clone(),
+            f_a.clone(),
+            f_b,
+        ])
+        .unwrap();
+        let qs = fps.canonical_quorums();
+        // Actual failure: {3}. p0..p2 wise; p3 faulty.
+        let guild = maximal_guild(&fps, &qs, &set(&[3])).unwrap();
+        assert_eq!(guild, set(&[0, 1, 2]));
+        // Actual failure: {0}. p3 wise but p1, p2 naive — and p3's only
+        // quorum {1,2,3} is not fully wise, so no guild exists.
+        assert_eq!(classify(&fps, &set(&[0]), ProcessId::new(3)), ProcessClass::Wise);
+        assert_eq!(classify(&fps, &set(&[0]), ProcessId::new(1)), ProcessClass::Naive);
+        assert_eq!(maximal_guild(&fps, &qs, &set(&[0])), None);
+    }
+
+    #[test]
+    fn closure_iteration_removes_cascade() {
+        // Chain of dependencies: p0's quorum needs p1, p1's needs p2, p2's
+        // needs the (faulty) p3 — everyone unravels even though all "wise".
+        let q = |ids: &[usize]| QuorumSystem::explicit(4, vec![set(ids)]).unwrap();
+        let qs = AsymQuorumSystem::new(vec![
+            q(&[0, 1]),
+            q(&[1, 2]),
+            q(&[2, 3]),
+            q(&[3]),
+        ])
+        .unwrap();
+        // Everyone's fail-prone system covers {3} so all correct are wise.
+        let fps = AsymFailProneSystem::uniform(
+            FailProneSystem::explicit(4, vec![set(&[3])]).unwrap(),
+        );
+        assert_eq!(maximal_guild(&fps, &qs, &set(&[3])), None);
+        // Without failures, the full set is a guild.
+        let guild = maximal_guild(&fps, &qs, &ProcessSet::new()).unwrap();
+        assert_eq!(guild, ProcessSet::full(4));
+    }
+
+    #[test]
+    fn is_guild_rejects_non_closed_sets() {
+        let (fps, qs) = threshold_system(4, 1);
+        // {0,1} is wise but contains no quorum (quorums have size 3).
+        assert!(!is_guild(&fps, &qs, &set(&[3]), &set(&[0, 1])));
+        assert!(is_guild(&fps, &qs, &set(&[3]), &set(&[0, 1, 2])));
+        assert!(!is_guild(&fps, &qs, &set(&[3]), &ProcessSet::new()));
+    }
+
+    #[test]
+    fn guild_members_guaranteed_quorum_of_guild_members() {
+        let (fps, qs) = threshold_system(10, 3);
+        let faulty = set(&[7, 8, 9]);
+        let guild = maximal_guild(&fps, &qs, &faulty).unwrap();
+        for p in &guild {
+            let q = qs.find_quorum_for(p, &guild).unwrap();
+            assert!(q.is_subset(&guild));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Process identifiers.
+//!
+//! Every participant of the system `P = {p_0, …, p_{n-1}}` is named by a
+//! dense, zero-based [`ProcessId`]. The paper numbers processes `1..=n`; this
+//! crate uses `0..n` internally and the figure-rendering helpers translate to
+//! one-based labels when reproducing the paper's figures.
+
+use core::fmt;
+
+/// Identifier of a process in the system `P = {p_0, …, p_{n-1}}`.
+///
+/// `ProcessId` is a zero-based dense index. It is deliberately a newtype (not
+/// a bare `usize`) so that process ids, round numbers and wave numbers cannot
+/// be confused at compile time.
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from its dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the dense zero-based index of this process.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the one-based label used by the paper's figures (`1..=n`).
+    #[inline]
+    pub const fn paper_label(self) -> usize {
+        self.0 + 1
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for usize {
+    #[inline]
+    fn from(pid: ProcessId) -> Self {
+        pid.0
+    }
+}
+
+/// Returns an iterator over all process ids of a system of size `n`.
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::{all_processes, ProcessId};
+///
+/// let ids: Vec<ProcessId> = all_processes(3).collect();
+/// assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+/// ```
+pub fn all_processes(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+    (0..n).map(ProcessId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..100 {
+            let p = ProcessId::new(i);
+            assert_eq!(p.index(), i);
+            assert_eq!(usize::from(p), i);
+            assert_eq!(ProcessId::from(i), p);
+        }
+    }
+
+    #[test]
+    fn paper_label_is_one_based() {
+        assert_eq!(ProcessId::new(0).paper_label(), 1);
+        assert_eq!(ProcessId::new(29).paper_label(), 30);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let p = ProcessId::new(7);
+        assert_eq!(format!("{p}"), "p7");
+        assert_eq!(format!("{p:?}"), "p7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        let mut v = vec![ProcessId::new(5), ProcessId::new(1), ProcessId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![ProcessId::new(1), ProcessId::new(3), ProcessId::new(5)]);
+    }
+
+    #[test]
+    fn all_processes_yields_dense_range() {
+        assert_eq!(all_processes(0).count(), 0);
+        let v: Vec<_> = all_processes(4).map(|p| p.index()).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,244 @@
+//! The protocol abstraction: event-driven state machines.
+//!
+//! Every protocol in this repository — reliable broadcast, gather, DAG
+//! consensus — is an implementation of [`Protocol`]: a deterministic state
+//! machine that reacts to a start signal, client inputs, and received
+//! messages by mutating local state and emitting sends through a [`Context`].
+//! No async runtime is involved; the [`Simulation`](crate::Simulation) event
+//! loop owns delivery order, which is exactly the asynchronous-adversary
+//! model of the paper (§2.1).
+
+use core::fmt;
+
+use asym_quorum::ProcessId;
+
+/// Logical simulation time: the number of delivery steps executed so far, or
+/// — under a latency-modelling scheduler — the simulated clock.
+pub type Step = u64;
+
+/// A deterministic, event-driven protocol state machine.
+///
+/// The simulation owns `n` instances (one per process). Instances communicate
+/// only through messages emitted via [`Context::send`] /
+/// [`Context::broadcast`]; the network attaches the authenticated sender
+/// identity on delivery (messages cannot be forged, matching the paper's
+/// authenticated point-to-point links).
+pub trait Protocol {
+    /// Messages exchanged between processes.
+    type Msg: Clone + fmt::Debug;
+    /// Client inputs injected by the environment (e.g. a block to broadcast).
+    type Input;
+    /// Outputs delivered to the environment (e.g. `ag-deliver`, `aa-deliver`).
+    type Output;
+
+    /// Invoked once before any message is delivered.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when the environment injects an input.
+    fn on_input(&mut self, input: Self::Input, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let _ = (input, ctx);
+    }
+
+    /// Invoked when a message from `from` is delivered to this process.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    );
+}
+
+/// Destination of an emitted message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dest {
+    /// A single process.
+    To(ProcessId),
+    /// Every process in the system, **including the sender** (the paper's
+    /// "send to all `p ∈ P`").
+    All,
+}
+
+/// Execution context handed to a [`Protocol`] callback.
+///
+/// Collects sends and outputs; the simulation drains them after the callback
+/// returns. `Context` also exposes the process's own identity, the system
+/// size and the current simulation time.
+#[derive(Debug)]
+pub struct Context<'a, M, O> {
+    id: ProcessId,
+    n: usize,
+    now: Step,
+    sends: &'a mut Vec<(Dest, M)>,
+    outputs: &'a mut Vec<O>,
+}
+
+impl<'a, M, O> Context<'a, M, O> {
+    /// Creates a context; used by the simulation and by unit tests that drive
+    /// a protocol instance directly.
+    pub fn new(
+        id: ProcessId,
+        n: usize,
+        now: Step,
+        sends: &'a mut Vec<(Dest, M)>,
+        outputs: &'a mut Vec<O>,
+    ) -> Self {
+        Context { id, n, now, sends, outputs }
+    }
+
+    /// This process's identity.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Step {
+        self.now
+    }
+
+    /// Sends `msg` to a single process over the authenticated point-to-point
+    /// link.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((Dest::To(to), msg));
+    }
+
+    /// Sends `msg` to every process, including this one.
+    pub fn broadcast(&mut self, msg: M) {
+        self.sends.push((Dest::All, msg));
+    }
+
+    /// Delivers an output to the environment.
+    pub fn output(&mut self, out: O) {
+        self.outputs.push(out);
+    }
+}
+
+/// Drives a single [`Protocol`] instance outside a full simulation — useful
+/// for unit-testing one state machine in isolation.
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::ProcessId;
+/// use asym_sim::{Harness, Protocol, Context};
+///
+/// struct Echo(ProcessId);
+/// impl Protocol for Echo {
+///     type Msg = u32;
+///     type Input = ();
+///     type Output = u32;
+///     fn on_message(&mut self, _f: ProcessId, m: u32, ctx: &mut Context<'_, u32, u32>) {
+///         ctx.output(m);
+///     }
+/// }
+///
+/// let mut h = Harness::new(Echo(ProcessId::new(0)), ProcessId::new(0), 3);
+/// h.deliver(ProcessId::new(1), 7);
+/// assert_eq!(h.outputs, vec![7]);
+/// ```
+#[derive(Debug)]
+pub struct Harness<P: Protocol> {
+    /// The protocol instance under test.
+    pub protocol: P,
+    /// Identity the instance runs as.
+    pub id: ProcessId,
+    /// System size reported through the context.
+    pub n: usize,
+    /// Simulated time, incremented per delivery.
+    pub now: Step,
+    /// All sends emitted so far, in order.
+    pub sends: Vec<(Dest, P::Msg)>,
+    /// All outputs emitted so far, in order.
+    pub outputs: Vec<P::Output>,
+}
+
+impl<P: Protocol> Harness<P> {
+    /// Wraps a protocol instance for direct driving.
+    pub fn new(protocol: P, id: ProcessId, n: usize) -> Self {
+        Harness { protocol, id, n, now: 0, sends: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// Calls `on_start`.
+    pub fn start(&mut self) {
+        let mut ctx = Context::new(self.id, self.n, self.now, &mut self.sends, &mut self.outputs);
+        self.protocol.on_start(&mut ctx);
+    }
+
+    /// Calls `on_input`.
+    pub fn input(&mut self, input: P::Input) {
+        let mut ctx = Context::new(self.id, self.n, self.now, &mut self.sends, &mut self.outputs);
+        self.protocol.on_input(input, &mut ctx);
+    }
+
+    /// Delivers one message and advances time.
+    pub fn deliver(&mut self, from: ProcessId, msg: P::Msg) {
+        self.now += 1;
+        let mut ctx = Context::new(self.id, self.n, self.now, &mut self.sends, &mut self.outputs);
+        self.protocol.on_message(from, msg, &mut ctx);
+    }
+
+    /// Drains and returns the sends emitted so far.
+    pub fn take_sends(&mut self) -> Vec<(Dest, P::Msg)> {
+        core::mem::take(&mut self.sends)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        seen: u32,
+    }
+
+    impl Protocol for Counter {
+        type Msg = u32;
+        type Input = u32;
+        type Output = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32, u32>) {
+            ctx.broadcast(0);
+        }
+
+        fn on_input(&mut self, input: u32, ctx: &mut Context<'_, u32, u32>) {
+            ctx.send(ProcessId::new(1), input);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Context<'_, u32, u32>) {
+            self.seen += msg;
+            ctx.output(self.seen);
+        }
+    }
+
+    #[test]
+    fn harness_drives_all_callbacks() {
+        let mut h = Harness::new(Counter { seen: 0 }, ProcessId::new(0), 4);
+        h.start();
+        assert_eq!(h.sends, vec![(Dest::All, 0)]);
+        h.input(9);
+        assert_eq!(h.sends.last(), Some(&(Dest::To(ProcessId::new(1)), 9)));
+        h.deliver(ProcessId::new(2), 5);
+        h.deliver(ProcessId::new(3), 6);
+        assert_eq!(h.outputs, vec![5, 11]);
+        assert_eq!(h.now, 2);
+        let drained = h.take_sends();
+        assert_eq!(drained.len(), 2);
+        assert!(h.sends.is_empty());
+    }
+
+    #[test]
+    fn context_reports_identity() {
+        let mut sends: Vec<(Dest, u32)> = Vec::new();
+        let mut outs: Vec<u32> = Vec::new();
+        let ctx = Context::new(ProcessId::new(3), 7, 42, &mut sends, &mut outs);
+        assert_eq!(ctx.id(), ProcessId::new(3));
+        assert_eq!(ctx.n(), 7);
+        assert_eq!(ctx.now(), 42);
+    }
+}

@@ -1,0 +1,273 @@
+//! A threaded runtime: the same [`Protocol`] state machines, executed on one
+//! OS thread per process with real (crossbeam) channels instead of the
+//! deterministic event loop.
+//!
+//! The deterministic [`Simulation`](crate::Simulation) is the reference
+//! executor — replayable, adversary-programmable. This runtime exists for a
+//! different purpose: it subjects the protocols to *genuine* concurrency and
+//! OS-scheduler nondeterminism, so safety properties (agreement, total
+//! order) are exercised under schedules no seeded adversary enumerates.
+//! Tests assert the same invariants on both executors.
+//!
+//! Termination: the runtime detects distributed quiescence with an in-flight
+//! counter — every enqueued message increments it, and a handler decrements
+//! it only *after* enqueueing its own sends, so the counter reaches zero
+//! exactly when no message is in a channel or being processed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use asym_quorum::ProcessId;
+
+use crate::process::{Context, Dest, Protocol, Step};
+
+/// A message travelling between node threads.
+struct Envelope<M> {
+    from: ProcessId,
+    msg: M,
+}
+
+/// Result of a threaded run for one process.
+#[derive(Debug)]
+pub struct NodeResult<P: Protocol> {
+    /// The process's final state.
+    pub protocol: P,
+    /// Outputs in the order the process emitted them.
+    pub outputs: Vec<P::Output>,
+    /// Messages this node processed.
+    pub delivered: u64,
+}
+
+/// Runs one protocol instance per OS thread until global quiescence, and
+/// returns each node's final state and outputs.
+///
+/// `inputs[i]` is injected into process `i` before its message loop starts
+/// (the threaded runtime has no mid-run injection; model client traffic as
+/// start-time inputs or via protocol state).
+///
+/// # Panics
+///
+/// Panics if `processes` is empty or a node thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::ProcessId;
+/// use asym_sim::{threaded, Context, Protocol};
+///
+/// struct Ping;
+/// impl Protocol for Ping {
+///     type Msg = ();
+///     type Input = ();
+///     type Output = ProcessId;
+///     fn on_start(&mut self, ctx: &mut Context<'_, (), ProcessId>) {
+///         ctx.broadcast(());
+///     }
+///     fn on_message(&mut self, from: ProcessId, _m: (), ctx: &mut Context<'_, (), ProcessId>) {
+///         ctx.output(from);
+///     }
+/// }
+///
+/// let results = threaded::run(vec![Ping, Ping, Ping], vec![vec![], vec![], vec![]]);
+/// assert_eq!(results[0].outputs.len(), 3);
+/// ```
+pub fn run<P>(processes: Vec<P>, inputs: Vec<Vec<P::Input>>) -> Vec<NodeResult<P>>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Input: Send,
+    P::Output: Send,
+{
+    assert!(!processes.is_empty(), "threaded runtime needs at least one process");
+    assert_eq!(processes.len(), inputs.len(), "one input batch per process");
+    let n = processes.len();
+
+    let mut senders: Vec<Sender<Envelope<P::Msg>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Envelope<P::Msg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    // Pre-charge the counter with one "starting" token per node so no node
+    // can observe quiescence before every peer has run its start phase —
+    // regardless of OS scheduling.
+    let in_flight = Arc::new(AtomicU64::new(n as u64));
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, (mut protocol, input_batch)) in
+        processes.into_iter().zip(inputs).enumerate().collect::<Vec<_>>()
+    {
+        let me = ProcessId::new(i);
+        let senders = senders.clone();
+        let rx = receivers[i].clone();
+        let in_flight = Arc::clone(&in_flight);
+        handles.push(std::thread::spawn(move || {
+            let mut outputs: Vec<P::Output> = Vec::new();
+            let mut delivered: u64 = 0;
+            let mut now: Step = 0;
+
+            let dispatch = |me: ProcessId,
+                            sends: Vec<(Dest, P::Msg)>,
+                            in_flight: &AtomicU64,
+                            senders: &[Sender<Envelope<P::Msg>>]| {
+                for (dest, msg) in sends {
+                    match dest {
+                        Dest::To(to) => {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                            senders[to.index()]
+                                .send(Envelope { from: me, msg })
+                                .expect("receiver alive until quiescence");
+                        }
+                        Dest::All => {
+                            for (t, tx) in senders.iter().enumerate() {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                let _ = t;
+                                tx.send(Envelope { from: me, msg: msg.clone() })
+                                    .expect("receiver alive until quiescence");
+                            }
+                        }
+                    }
+                }
+            };
+
+            // Start + inputs; the pre-charged token is released only after
+            // the start-phase sends are enqueued (and counted).
+            let mut sends = Vec::new();
+            {
+                let mut ctx = Context::new(me, n, now, &mut sends, &mut outputs);
+                protocol.on_start(&mut ctx);
+                for input in input_batch {
+                    protocol.on_input(input, &mut ctx);
+                }
+            }
+            dispatch(me, sends, &in_flight, &senders);
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+
+            loop {
+                match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                    Ok(envelope) => {
+                        delivered += 1;
+                        now += 1;
+                        let mut sends = Vec::new();
+                        {
+                            let mut ctx = Context::new(me, n, now, &mut sends, &mut outputs);
+                            protocol.on_message(envelope.from, envelope.msg, &mut ctx);
+                        }
+                        // Enqueue children BEFORE decrementing: the counter
+                        // stays positive while any causal descendant exists.
+                        dispatch(me, sends, &in_flight, &senders);
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        if in_flight.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            NodeResult { protocol, outputs, delivered }
+        }));
+    }
+    drop(senders);
+    drop(receivers);
+
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread must not panic"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood: each process broadcasts `fanout` generations of messages.
+    struct Flood {
+        generations: u32,
+        heard: Vec<(ProcessId, u32)>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u32;
+        type Input = ();
+        type Output = usize;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32, usize>) {
+            ctx.broadcast(0);
+        }
+
+        fn on_message(&mut self, from: ProcessId, gen: u32, ctx: &mut Context<'_, u32, usize>) {
+            self.heard.push((from, gen));
+            // Re-broadcast the next generation only for our own lineage to
+            // bound the traffic: each delivery of gen g from p0 triggers one
+            // (g+1) broadcast by everyone, up to `generations`.
+            if gen < self.generations && from == ProcessId::new(0) {
+                ctx.broadcast(gen + 1);
+            }
+            ctx.output(self.heard.len());
+        }
+    }
+
+    #[test]
+    fn quiescence_detection_terminates() {
+        let n = 4;
+        let procs: Vec<Flood> =
+            (0..n).map(|_| Flood { generations: 3, heard: Vec::new() }).collect();
+        let results = run(procs, vec![vec![]; n]);
+        assert_eq!(results.len(), n);
+        // Every node processed at least the n start broadcasts.
+        for r in &results {
+            assert!(r.delivered >= n as u64, "delivered {}", r.delivered);
+        }
+    }
+
+    #[test]
+    fn all_messages_delivered_exactly_once() {
+        // One generation: everyone broadcasts once at start; every process
+        // must hear exactly n messages of generation 0 and respond to p0's.
+        let n = 6;
+        let procs: Vec<Flood> =
+            (0..n).map(|_| Flood { generations: 0, heard: Vec::new() }).collect();
+        let results = run(procs, vec![vec![]; n]);
+        for r in &results {
+            let gen0 = r.protocol.heard.iter().filter(|(_, g)| *g == 0).count();
+            assert_eq!(gen0, n, "each start broadcast heard exactly once");
+        }
+    }
+
+    /// Echo counter used to verify input injection.
+    struct Collect {
+        seen: Vec<u64>,
+    }
+
+    impl Protocol for Collect {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+
+        fn on_input(&mut self, input: u64, ctx: &mut Context<'_, u64, u64>) {
+            ctx.broadcast(input);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, v: u64, ctx: &mut Context<'_, u64, u64>) {
+            self.seen.push(v);
+            ctx.output(v);
+        }
+    }
+
+    #[test]
+    fn inputs_injected_before_loop() {
+        let n = 3;
+        let procs: Vec<Collect> = (0..n).map(|_| Collect { seen: Vec::new() }).collect();
+        let inputs = vec![vec![10u64, 11], vec![20], vec![]];
+        let results = run(procs, inputs);
+        for r in &results {
+            let mut seen = r.protocol.seen.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![10, 11, 20], "all inputs broadcast and heard");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Asynchrony in action: a network partition splits the cluster; the
+//! protocol (being safe under full asynchrony) never forks, and once the
+//! partition heals it commits everything — no recovery logic needed.
+//!
+//! ```bash
+//! cargo run --example partition_recovery
+//! ```
+
+use asym_dag_rider::prelude::*;
+
+fn main() {
+    let n = 7;
+    let t = topology::uniform_threshold(n, 2);
+
+    // Split 4 vs 3: with f = 2 quorums have 5 members, so neither side can
+    // advance a single round alone — cross-group messages queue until the
+    // heal (at step 2000, or earlier once both sides are fully quiesced).
+    let groups = vec![ProcessSet::from_indices([0, 1, 2, 3]), ProcessSet::from_indices([4, 5, 6])];
+    let heal_at = 2_000;
+
+    println!(
+        "partitioning {{0,1,2,3}} | {{4,5,6}} for the first {heal_at} delivery steps, then healing"
+    );
+    let report = Cluster::new(t.clone())
+        .adversary(Adversary::Partition { groups: groups.clone(), heal_at })
+        .waves(6)
+        .blocks_per_process(2)
+        .run_asymmetric();
+
+    assert!(report.quiescent);
+    let everyone = ProcessSet::full(n);
+    report.assert_total_order(&everyone);
+    for i in 0..n {
+        assert!(
+            !report.outputs[i].is_empty(),
+            "process {i} must commit after the heal"
+        );
+    }
+    println!("after heal: every process committed; total order verified ✓");
+    for (i, m) in report.metrics.iter().enumerate() {
+        println!(
+            "  p{i}: round {}, {}/{} waves committed, {} vertices ordered",
+            m.round, m.waves_committed, m.waves_attempted, m.vertices_ordered
+        );
+    }
+
+    // Control run without the partition, same seeds: the partition only
+    // delays — it cannot change the committed order (determinism lets us
+    // compare like-for-like).
+    let control = Cluster::new(t)
+        .adversary(Adversary::Fifo)
+        .waves(6)
+        .blocks_per_process(2)
+        .run_asymmetric();
+    let a: Vec<_> = report.outputs[0].iter().map(|o| o.id).collect();
+    let b: Vec<_> = control.outputs[0].iter().map(|o| o.id).collect();
+    let common = a.len().min(b.len());
+    println!(
+        "\npartitioned vs. unpartitioned run: {} vs {} vertices ordered at p0",
+        a.len(),
+        b.len()
+    );
+    // The orders need not be identical (different schedules ⇒ possibly
+    // different DAGs), but both must be internally consistent — asserted
+    // above. Report the comparison for the curious reader.
+    println!("first {common} positions equal: {}", a[..common] == b[..common]);
+}

@@ -1,0 +1,65 @@
+//! # asym-dag-rider
+//!
+//! A complete, executable reproduction of *"DAG-based Consensus with
+//! Asymmetric Trust"* (Ignacio Amores-Sesar, Christian Cachin, Juan
+//! Villacis, Luca Zanolini — PODC 2025, arXiv:2505.17891), built as a Rust
+//! workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`quorum`] | symmetric & asymmetric Byzantine quorum systems, B³, guilds, the Figure-1 counterexample, topology generators |
+//! | [`sim`] | deterministic discrete-event simulator with adversarial schedulers and fault injection |
+//! | [`crypto`] | from-scratch SHA-256, digests, the simulated common coin |
+//! | [`broadcast`] | Bracha / asymmetric reliable broadcast, consistent broadcast |
+//! | [`gather`] | Algorithms 1–3: symmetric gather, the failing quorum-replacement attempt, the constant-round asymmetric gather |
+//! | [`dag`] | certified-DAG substrate: vertices, store, reachability, waves |
+//! | [`core`] | DAG-Rider (baseline) and asymmetric DAG-Rider (Algorithms 4–6) |
+//!
+//! This umbrella crate re-exports everything and adds the [`Cluster`]
+//! harness used by the examples, integration tests and experiment binaries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use asym_dag_rider::{Adversary, Cluster};
+//! use asym_quorum::{topology, ProcessSet};
+//!
+//! // A 7-process Ripple-style trust topology (overlapping UNLs).
+//! let t = topology::ripple_unl(7, 6, 1);
+//! assert!(t.fail_prone.satisfies_b3());
+//!
+//! let report = Cluster::new(t)
+//!     .adversary(Adversary::Random(99))
+//!     .waves(4)
+//!     .run_asymmetric();
+//!
+//! assert!(report.quiescent);
+//! report.assert_total_order(&ProcessSet::full(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+
+pub use cluster::{Adversary, Cluster, ClusterReport, HasMetrics};
+
+pub use asym_broadcast as broadcast;
+pub use asym_core as core;
+pub use asym_crypto as crypto;
+pub use asym_dag as dag;
+pub use asym_gather as gather;
+pub use asym_quorum as quorum;
+pub use asym_sim as sim;
+
+/// Convenience re-exports of the most frequently used items.
+pub mod prelude {
+    pub use asym_core::{AsymDagRider, Block, DagRider, OrderedVertex, RiderConfig, RiderMetrics};
+    pub use asym_quorum::{
+        maximal_guild, topology, AsymFailProneSystem, AsymQuorumSystem, FailProneSystem,
+        ProcessId, ProcessSet, QuorumSystem,
+    };
+    pub use asym_sim::{scheduler, FaultMode, Simulation};
+
+    pub use crate::cluster::{Adversary, Cluster, ClusterReport};
+}

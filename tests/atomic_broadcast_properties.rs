@@ -1,0 +1,183 @@
+//! Integration matrix: asymmetric atomic broadcast properties
+//! (Definition 4.1 — agreement, validity, total order, integrity) across
+//! topologies × adversaries × failure patterns.
+
+use asym_dag_rider::prelude::*;
+
+/// Runs one configuration and checks every Definition-4.1 property that is
+/// decidable on a bounded execution.
+fn check(topo: topology::Topology, adversary: Adversary, crashed: &[usize], waves: u64) {
+    let name = topo.name.clone();
+    let report = Cluster::new(topo)
+        .adversary(adversary)
+        .crash(crashed.iter().copied())
+        .waves(waves)
+        .blocks_per_process(2)
+        .txs_per_block(3)
+        .run_asymmetric();
+    assert!(report.quiescent, "{name}: execution must quiesce");
+    let guild = report.guild.clone().unwrap_or_else(|| panic!("{name}: no guild"));
+
+    // Total order among guild members.
+    report.assert_total_order(&guild);
+
+    // Progress: every guild member commits something.
+    for g in &guild {
+        assert!(
+            !report.outputs[g.index()].is_empty(),
+            "{name}: guild member {g} ordered nothing"
+        );
+    }
+
+    // Integrity: no duplicates within any process's output.
+    for (i, out) in report.outputs.iter().enumerate() {
+        let mut seen = std::collections::HashSet::new();
+        for o in out {
+            assert!(seen.insert(o.id), "{name}: p{i} delivered {} twice", o.id);
+        }
+    }
+
+    // Agreement (bounded form): a vertex delivered by one guild member and
+    // lying within another's output length must appear there too — implied
+    // by prefix consistency, checked directly for belt and braces.
+    let mut best: Option<(usize, usize)> = None;
+    for g in &guild {
+        let len = report.outputs[g.index()].len();
+        if best.is_none_or(|(_, l)| len > l) {
+            best = Some((g.index(), len));
+        }
+    }
+    let (best_idx, _) = best.unwrap();
+    for g in &guild {
+        let out = &report.outputs[g.index()];
+        for (k, o) in out.iter().enumerate() {
+            assert_eq!(
+                o.id, report.outputs[best_idx][k].id,
+                "{name}: agreement violated at {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threshold_4_random() {
+    check(topology::uniform_threshold(4, 1), Adversary::Random(1), &[], 6);
+}
+
+#[test]
+fn threshold_4_fifo_with_crash() {
+    check(topology::uniform_threshold(4, 1), Adversary::Fifo, &[2], 8);
+}
+
+#[test]
+fn threshold_7_latency_two_crashes() {
+    check(
+        topology::uniform_threshold(7, 2),
+        Adversary::Latency { seed: 9, min: 1, max: 40 },
+        &[0, 1],
+        8,
+    );
+}
+
+#[test]
+fn threshold_10_targeted_delay() {
+    check(
+        topology::uniform_threshold(10, 3),
+        Adversary::TargetedDelay(ProcessSet::from_indices([7, 8, 9])),
+        &[],
+        5,
+    );
+}
+
+#[test]
+fn ripple_unl_random() {
+    check(topology::ripple_unl(10, 8, 1), Adversary::Random(4), &[], 6);
+}
+
+#[test]
+fn ripple_unl_crash_and_latency() {
+    check(
+        topology::ripple_unl(10, 8, 1),
+        Adversary::Latency { seed: 2, min: 5, max: 25 },
+        &[3],
+        8,
+    );
+}
+
+#[test]
+fn stellar_tiers_leaf_and_core_crash() {
+    check(topology::stellar_tiers(10, 4, 1), Adversary::Random(6), &[2, 9], 8);
+}
+
+#[test]
+fn figure1_counterexample_topology() {
+    let topo = topology::Topology {
+        name: "figure-1".into(),
+        fail_prone: asym_dag_rider::quorum::counterexample::fig1_fail_prone(),
+        quorums: asym_dag_rider::quorum::counterexample::fig1_quorums(),
+    };
+    check(topo, Adversary::Random(8), &[], 5);
+}
+
+#[test]
+fn random_slice_topology() {
+    let topo = asym_dag_rider::quorum::topology::random_slices(8, 6, 1, 11, 200)
+        .expect("a B3 random topology exists for these parameters");
+    check(topo, Adversary::Random(12), &[], 6);
+}
+
+#[test]
+fn partition_then_heal_commits_everything() {
+    check(
+        topology::uniform_threshold(7, 2),
+        Adversary::Partition {
+            groups: vec![ProcessSet::from_indices([0, 1, 2, 3]), ProcessSet::from_indices([4, 5, 6])],
+            heal_at: 1_000,
+        },
+        &[],
+        6,
+    );
+}
+
+#[test]
+fn mixed_thresholds_topology() {
+    // One cautious process (f=1), the rest f=2, n=7 — B3 holds.
+    let mut systems = vec![FailProneSystem::threshold(7, 2); 7];
+    systems[0] = FailProneSystem::threshold(7, 1);
+    let fail_prone = AsymFailProneSystem::new(systems).unwrap();
+    assert!(fail_prone.satisfies_b3());
+    let quorums = fail_prone.canonical_quorums();
+    let topo = topology::Topology { name: "mixed-thresholds".into(), fail_prone, quorums };
+    check(topo, Adversary::Random(3), &[6], 8);
+}
+
+#[test]
+fn validity_all_injected_blocks_ordered_eventually() {
+    // Long run: everything injected up front must come out everywhere.
+    let report = Cluster::new(topology::uniform_threshold(4, 1))
+        .adversary(Adversary::Random(77))
+        .waves(10)
+        .blocks_per_process(3)
+        .txs_per_block(2)
+        .run_asymmetric();
+    assert!(report.quiescent);
+    let total_txs = 4 * 3 * 2;
+    for i in 0..4 {
+        let txs = report.delivered_txs(ProcessId::new(i));
+        for tx in 1..=total_txs as u64 {
+            assert!(txs.contains(&tx), "p{i} never delivered tx {tx}");
+        }
+    }
+}
+
+#[test]
+fn coin_seed_changes_leader_schedule_but_not_safety() {
+    for coin_seed in [1u64, 2, 3] {
+        let report = Cluster::new(topology::uniform_threshold(4, 1))
+            .adversary(Adversary::Random(5))
+            .coin_seed(coin_seed)
+            .waves(6)
+            .run_asymmetric();
+        report.assert_total_order(&ProcessSet::full(4));
+    }
+}

@@ -1,0 +1,142 @@
+//! Fault-injection suite: mid-run crashes, send-omission (mute) processes,
+//! and adversarial starvation — safety must be unconditional, liveness holds
+//! for the guild whenever the surviving trust structure admits one.
+
+use asym_dag_rider::prelude::*;
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn riders(t: &topology::Topology, waves: u64, coin: u64) -> Vec<AsymDagRider> {
+    let config = RiderConfig { max_waves: waves, ..Default::default() };
+    (0..t.n())
+        .map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), coin, config))
+        .collect()
+}
+
+fn assert_prefix_consistent(outputs: &[Vec<OrderedVertex>]) {
+    for a in outputs {
+        for b in outputs {
+            let common = a.len().min(b.len());
+            for k in 0..common {
+                assert_eq!(a[k].id, b[k].id, "total order violated at {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_mid_run_after_k_deliveries() {
+    // p3 processes 200 deliveries and then dies; the rest keep committing.
+    let t = topology::uniform_threshold(4, 1);
+    for k in [0u64, 50, 200, 1000] {
+        let mut sim = Simulation::new(riders(&t, 6, 42), scheduler::Random::new(k))
+            .with_fault(pid(3), FaultMode::CrashAfter(k));
+        for i in 0..4 {
+            sim.input(pid(i), Block::new(vec![i as u64]));
+        }
+        assert!(sim.run(200_000_000).quiescent, "k={k}");
+        let outputs: Vec<Vec<OrderedVertex>> =
+            (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+        assert_prefix_consistent(&outputs);
+        for (i, o) in outputs.iter().take(3).enumerate() {
+            assert!(!o.is_empty(), "k={k}: survivor p{i} stalled");
+        }
+    }
+}
+
+#[test]
+fn mute_process_is_tolerated_like_a_crash() {
+    // A mute process receives everything but its sends vanish — an
+    // omission fault within the f = 1 budget.
+    let t = topology::uniform_threshold(4, 1);
+    let mut sim = Simulation::new(riders(&t, 6, 42), scheduler::Random::new(7))
+        .with_fault(pid(2), FaultMode::Mute);
+    for i in 0..4 {
+        sim.input(pid(i), Block::new(vec![i as u64]));
+    }
+    assert!(sim.run(200_000_000).quiescent);
+    let outputs: Vec<Vec<OrderedVertex>> =
+        (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    assert_prefix_consistent(&outputs);
+    for i in [0usize, 1, 3] {
+        assert!(!outputs[i].is_empty(), "p{i} must progress around the mute p2");
+    }
+}
+
+#[test]
+fn two_simultaneous_fault_kinds() {
+    // n=10, f=3 budget spent as: one crash-from-start, one mid-run crash,
+    // one mute.
+    let t = topology::uniform_threshold(10, 3);
+    let mut sim = Simulation::new(riders(&t, 5, 42), scheduler::Random::new(3))
+        .with_fault(pid(7), FaultMode::CrashedFromStart)
+        .with_fault(pid(8), FaultMode::CrashAfter(500))
+        .with_fault(pid(9), FaultMode::Mute);
+    for i in 0..7 {
+        sim.input(pid(i), Block::new(vec![i as u64]));
+    }
+    assert!(sim.run(500_000_000).quiescent);
+    let outputs: Vec<Vec<OrderedVertex>> =
+        (0..10).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    assert_prefix_consistent(&outputs);
+    for (i, o) in outputs.iter().take(7).enumerate() {
+        assert!(!o.is_empty(), "survivor p{i} stalled");
+    }
+}
+
+#[test]
+fn starving_one_process_delays_but_does_not_fork() {
+    let t = topology::uniform_threshold(7, 2);
+    let victims = ProcessSet::from_indices([0]);
+    let mut sim =
+        Simulation::new(riders(&t, 5, 42), scheduler::TargetedDelay::new(victims));
+    for i in 0..7 {
+        sim.input(pid(i), Block::new(vec![i as u64]));
+    }
+    assert!(sim.run(500_000_000).quiescent);
+    let outputs: Vec<Vec<OrderedVertex>> =
+        (0..7).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    assert_prefix_consistent(&outputs);
+    // Eventual delivery means even the victim catches up at quiescence.
+    assert!(!outputs[0].is_empty(), "victim must catch up eventually");
+}
+
+#[test]
+fn beyond_threshold_failures_stall_but_never_fork() {
+    // 2 crashes with f = 1: no guild, no liveness promise — but whatever is
+    // output stays consistent (safety is unconditional for crash faults).
+    let t = topology::uniform_threshold(4, 1);
+    let mut sim = Simulation::new(riders(&t, 4, 42), scheduler::Random::new(1))
+        .with_fault(pid(2), FaultMode::CrashedFromStart)
+        .with_fault(pid(3), FaultMode::CrashedFromStart);
+    for i in 0..2 {
+        sim.input(pid(i), Block::new(vec![i as u64]));
+    }
+    assert!(sim.run(50_000_000).quiescent);
+    let outputs: Vec<Vec<OrderedVertex>> =
+        (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    assert_prefix_consistent(&outputs);
+    assert!(
+        outputs.iter().all(|o| o.is_empty()),
+        "no quorum of 3 exists among 2 correct processes — nothing can commit"
+    );
+}
+
+#[test]
+fn guild_destroying_crash_on_stellar_topology_stalls_safely() {
+    let t = topology::stellar_tiers(8, 4, 1);
+    // Two core members exceed the core threshold of 1: guild vanishes.
+    assert!(maximal_guild(&t.fail_prone, &t.quorums, &ProcessSet::from_indices([0, 1])).is_none());
+    let mut sim = Simulation::new(riders(&t, 4, 42), scheduler::Random::new(2))
+        .with_fault(pid(0), FaultMode::CrashedFromStart)
+        .with_fault(pid(1), FaultMode::CrashedFromStart);
+    for i in 2..8 {
+        sim.input(pid(i), Block::new(vec![i as u64]));
+    }
+    assert!(sim.run(50_000_000).quiescent);
+    let outputs: Vec<Vec<OrderedVertex>> =
+        (0..8).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    assert_prefix_consistent(&outputs);
+}

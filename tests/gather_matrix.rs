@@ -1,0 +1,125 @@
+//! Integration matrix for the constant-round asymmetric gather
+//! (Algorithm 3): common core + agreement + validity across topologies,
+//! adversaries and failure patterns, through the public API.
+
+use asym_dag_rider::prelude::*;
+use asym_gather::{check_pairwise_agreement, find_common_core, AsymGather, ValueSet};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Runs Algorithm 3 on `topo` with `crashed` processes and verifies
+/// Definition 3.1 for the maximal guild.
+fn check_gather(topo: &topology::Topology, crashed: &[usize], seed: u64) {
+    let n = topo.n();
+    let faulty: ProcessSet = crashed.iter().copied().collect();
+    let guild = maximal_guild(&topo.fail_prone, &topo.quorums, &faulty)
+        .unwrap_or_else(|| panic!("{}: no guild for faulty={faulty}", topo.name));
+
+    let procs: Vec<AsymGather<u64>> =
+        (0..n).map(|i| AsymGather::new(pid(i), topo.quorums.clone())).collect();
+    let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
+    for c in crashed {
+        sim = sim.with_fault(pid(*c), FaultMode::CrashedFromStart);
+    }
+    for i in 0..n {
+        if !crashed.contains(&i) {
+            sim.input(pid(i), 900 + i as u64);
+        }
+    }
+    assert!(sim.run(300_000_000).quiescent, "{} seed {seed}", topo.name);
+
+    let mut outputs: Vec<(ProcessId, ValueSet<u64>)> = Vec::new();
+    for g in &guild {
+        let out = sim.outputs(g);
+        assert_eq!(out.len(), 1, "{}: guild member {g} must ag-deliver", topo.name);
+        outputs.push((g, out[0].clone()));
+    }
+    let refs: Vec<(ProcessId, &ValueSet<u64>)> =
+        outputs.iter().map(|(p, u)| (*p, u)).collect();
+    check_pairwise_agreement(&refs).expect("agreement");
+    for (_, u) in &refs {
+        for (p, v) in u.iter() {
+            assert_eq!(*v, 900 + p.index() as u64, "validity for {p}");
+        }
+    }
+    assert!(
+        find_common_core(&topo.quorums, &guild, &refs).is_some(),
+        "{} seed {seed}: common core missing",
+        topo.name
+    );
+}
+
+#[test]
+fn thresholds_without_faults() {
+    for seed in 0..3 {
+        check_gather(&topology::uniform_threshold(4, 1), &[], seed);
+        check_gather(&topology::uniform_threshold(7, 2), &[], seed);
+    }
+}
+
+#[test]
+fn thresholds_with_max_crashes() {
+    check_gather(&topology::uniform_threshold(4, 1), &[1], 1);
+    check_gather(&topology::uniform_threshold(7, 2), &[2, 4], 2);
+    check_gather(&topology::uniform_threshold(10, 3), &[0, 5, 9], 3);
+}
+
+#[test]
+fn ripple_and_stellar_topologies() {
+    check_gather(&topology::ripple_unl(10, 8, 1), &[], 5);
+    check_gather(&topology::ripple_unl(10, 8, 1), &[7], 6);
+    check_gather(&topology::stellar_tiers(12, 4, 1), &[3], 7);
+    check_gather(&topology::stellar_tiers(12, 4, 1), &[10, 11], 8);
+}
+
+#[test]
+fn random_b3_topologies() {
+    for seed in [13u64, 17, 23] {
+        if let Some(t) = topology::random_slices(8, 6, 1, seed, 200) {
+            check_gather(&t, &[], seed);
+        }
+    }
+}
+
+#[test]
+fn mixed_threshold_topology_with_crash() {
+    let mut systems = vec![FailProneSystem::threshold(7, 2); 7];
+    systems[3] = FailProneSystem::threshold(7, 1);
+    let fail_prone = AsymFailProneSystem::new(systems).unwrap();
+    assert!(fail_prone.satisfies_b3());
+    let quorums = fail_prone.canonical_quorums();
+    let t = topology::Topology { name: "mixed".into(), fail_prone, quorums };
+    check_gather(&t, &[6], 4);
+}
+
+#[test]
+fn ablation_no_amplification_still_safe_when_it_delivers() {
+    // With kernel amplification disabled (ablation ABL) the protocol may in
+    // principle lose liveness, but anything it delivers must still satisfy
+    // agreement and the common-core property when all deliver.
+    use asym_gather::AsymGatherConfig;
+    let topo = topology::uniform_threshold(7, 2);
+    let cfg = AsymGatherConfig { kernel_amplification: false };
+    for seed in 0..3 {
+        let procs: Vec<AsymGather<u64>> = (0..7)
+            .map(|i| AsymGather::with_config(pid(i), topo.quorums.clone(), cfg))
+            .collect();
+        let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
+        for i in 0..7 {
+            sim.input(pid(i), i as u64);
+        }
+        assert!(sim.run(100_000_000).quiescent);
+        let delivered: Vec<(ProcessId, ValueSet<u64>)> = (0..7)
+            .filter_map(|i| sim.outputs(pid(i)).first().map(|u| (pid(i), u.clone())))
+            .collect();
+        let refs: Vec<(ProcessId, &ValueSet<u64>)> =
+            delivered.iter().map(|(p, u)| (*p, u)).collect();
+        check_pairwise_agreement(&refs).expect("agreement holds regardless");
+        if refs.len() == 7 {
+            let guild = ProcessSet::full(7);
+            assert!(find_common_core(&topo.quorums, &guild, &refs).is_some());
+        }
+    }
+}

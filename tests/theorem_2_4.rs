@@ -1,0 +1,129 @@
+//! Property-based validation of the trust-structure theory:
+//!
+//! * **Theorem 2.4** — an asymmetric fail-prone system satisfies B³ **iff**
+//!   an asymmetric quorum system for it exists; the canonical construction
+//!   (complements of maximal fail-prone sets) is the witness.
+//! * Guild structure: the maximal guild is a guild containing every other
+//!   guild.
+
+use proptest::prelude::*;
+
+use asym_dag_rider::prelude::*;
+use asym_quorum::{is_guild, wise_processes};
+
+/// Strategy: a random explicit asymmetric fail-prone system on `n` processes
+/// with up to `k` fail-prone sets of size ≤ `fmax` each.
+fn arb_fail_prone(n: usize, k: usize, fmax: usize) -> impl Strategy<Value = AsymFailProneSystem> {
+    let set = proptest::collection::vec(0..n, 1..=fmax);
+    let sets = proptest::collection::vec(set, 1..=k);
+    proptest::collection::vec(sets, n).prop_map(move |per_process| {
+        let systems: Vec<FailProneSystem> = per_process
+            .into_iter()
+            .map(|sets| {
+                let sets: Vec<ProcessSet> =
+                    sets.into_iter().map(ProcessSet::from_indices).collect();
+                FailProneSystem::explicit(n, sets).expect("non-empty, in range")
+            })
+            .collect();
+        AsymFailProneSystem::new(systems).expect("well-formed")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// B³ ⟹ the canonical quorum system is consistent and available.
+    #[test]
+    fn b3_implies_canonical_system_valid(fps in arb_fail_prone(5, 3, 2)) {
+        prop_assume!(fps.satisfies_b3());
+        let qs = fps.canonical_quorums();
+        prop_assert!(qs.validate(&fps).is_ok(), "violation: {:?}", qs.validate(&fps));
+    }
+
+    /// ¬B³ ⟹ the canonical quorum system violates consistency (the forward
+    /// direction of Theorem 2.4's "only if": no system can work, so in
+    /// particular the canonical one fails).
+    #[test]
+    fn not_b3_implies_canonical_system_invalid(fps in arb_fail_prone(4, 2, 2)) {
+        prop_assume!(!fps.satisfies_b3());
+        let qs = fps.canonical_quorums();
+        prop_assert!(
+            qs.check_consistency(&fps).is_err(),
+            "¬B3 but canonical quorums look consistent"
+        );
+    }
+
+    /// The maximal guild is a guild, and contains every singleton-closure
+    /// guild candidate.
+    #[test]
+    fn maximal_guild_is_maximal(
+        fps in arb_fail_prone(5, 2, 2),
+        faulty in proptest::collection::vec(0usize..5, 0..2),
+    ) {
+        prop_assume!(fps.satisfies_b3());
+        let qs = fps.canonical_quorums();
+        let faulty: ProcessSet = faulty.into_iter().collect();
+        let wise = wise_processes(&fps, &faulty);
+        match maximal_guild(&fps, &qs, &faulty) {
+            Some(guild) => {
+                prop_assert!(is_guild(&fps, &qs, &faulty, &guild));
+                prop_assert!(guild.is_subset(&wise));
+                // Maximality: extending the guild by any wise outsider does
+                // not yield a guild.
+                for w in wise.difference(&guild).iter() {
+                    let mut bigger = guild.clone();
+                    bigger.insert(w);
+                    prop_assert!(
+                        !is_guild(&fps, &qs, &faulty, &bigger),
+                        "guild {guild} extensible by {w}"
+                    );
+                }
+            }
+            None => {
+                // Then the full wise set itself must fail closure somewhere.
+                prop_assert!(!is_guild(&fps, &qs, &faulty, &wise) || wise.is_empty());
+            }
+        }
+    }
+
+    /// Uniform threshold systems: B³ ⟺ n > 3f (the classic bound).
+    #[test]
+    fn threshold_b3_iff_classic_bound(n in 2usize..12, f in 0usize..4) {
+        prop_assume!(f < n);
+        prop_assume!(f >= 1);
+        let fps = AsymFailProneSystem::uniform(FailProneSystem::threshold(n, f));
+        prop_assert_eq!(fps.satisfies_b3(), n > 3 * f);
+    }
+
+    /// Kernels really intersect every quorum (on the canonical systems).
+    #[test]
+    fn kernels_hit_all_quorums(fps in arb_fail_prone(5, 2, 2)) {
+        prop_assume!(fps.satisfies_b3());
+        let qs = fps.canonical_quorums();
+        for i in 0..5 {
+            let p = ProcessId::new(i);
+            let system = qs.of(p);
+            for kernel in system.minimal_kernels() {
+                prop_assert!(system.is_kernel(&kernel));
+                for quorum in system.minimal_quorums() {
+                    prop_assert!(kernel.intersects(&quorum), "{kernel} misses {quorum}");
+                }
+            }
+            // And removing any element of a minimal kernel breaks it.
+            for kernel in system.minimal_kernels() {
+                for e in &kernel {
+                    let mut smaller = kernel.clone();
+                    smaller.remove(e);
+                    prop_assert!(!system.is_kernel(&smaller));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_1_satisfies_both_directions() {
+    let fps = asym_dag_rider::quorum::counterexample::fig1_fail_prone();
+    assert!(fps.satisfies_b3());
+    assert!(fps.canonical_quorums().validate(&fps).is_ok());
+}
