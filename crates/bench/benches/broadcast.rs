@@ -24,8 +24,7 @@ fn run_arb(quorums: &AsymQuorumSystem, seed: u64) -> u64 {
 
 fn run_cb(quorums: &AsymQuorumSystem, seed: u64) -> u64 {
     let n = quorums.n();
-    let procs: Vec<CbProcess> =
-        (0..n).map(|i| CbProcess::new(pid(i), quorums.clone())).collect();
+    let procs: Vec<CbProcess> = (0..n).map(|i| CbProcess::new(pid(i), quorums.clone())).collect();
     let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
     sim.input(pid(0), (0, 7));
     let r = sim.run(u64::MAX);

@@ -46,15 +46,10 @@ fn run_once(
         }
     }
     assert!(sim.run(500_000_000).quiescent);
-    let delivered = guild
-        .iter()
-        .filter(|g| !sim.outputs(*g).is_empty())
-        .count();
+    let delivered = guild.iter().filter(|g| !sim.outputs(*g).is_empty()).count();
     // Sanity: whatever is delivered satisfies agreement.
-    let outputs: Vec<(ProcessId, ValueSet<u64>)> = guild
-        .iter()
-        .filter_map(|g| sim.outputs(g).first().map(|u| (g, u.clone())))
-        .collect();
+    let outputs: Vec<(ProcessId, ValueSet<u64>)> =
+        guild.iter().filter_map(|g| sim.outputs(g).first().map(|u| (g, u.clone()))).collect();
     let refs: Vec<(ProcessId, &ValueSet<u64>)> = outputs.iter().map(|(p, u)| (*p, u)).collect();
     asym_gather::check_pairwise_agreement(&refs).expect("agreement must hold regardless");
     (guild.len(), delivered, sim.stats().sent)

@@ -39,10 +39,8 @@ fn main() {
     for (n, f) in [(4usize, 1usize), (7, 2), (10, 3), (16, 5)] {
         let t = topology::uniform_threshold(n, f);
         let (m1, t1) = gather_cost(n, |i| SymGather::<u64>::new(pid(i), n, f), 7);
-        let (m2, t2) =
-            gather_cost(n, |i| NaiveGather::<u64>::new(pid(i), t.quorums.clone()), 7);
-        let (m3, t3) =
-            gather_cost(n, |i| AsymGather::<u64>::new(pid(i), t.quorums.clone()), 7);
+        let (m2, t2) = gather_cost(n, |i| NaiveGather::<u64>::new(pid(i), t.quorums.clone()), 7);
+        let (m3, t3) = gather_cost(n, |i| AsymGather::<u64>::new(pid(i), t.quorums.clone()), 7);
         rows.push(Row {
             label: format!("n={n}, f={f}"),
             values: vec![
@@ -92,10 +90,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            "LAT-C — consensus over 8 waves (random 1–20 unit link latency)",
-            &rows
-        )
+        render_table("LAT-C — consensus over 8 waves (random 1–20 unit link latency)", &rows)
     );
     println!(
         "shape: on uniform thresholds both protocols commit every ≈3/2 waves; the\n\

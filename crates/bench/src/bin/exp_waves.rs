@@ -76,9 +76,8 @@ fn main() {
         let fair = run_suite(&t, Adversary::Random);
         // The O(pending)-per-step delay adversary is too slow for the
         // 30-process figure-1 system; its adversarial regime is covered by
-        // the crash table below and the discussion in EXPERIMENTS.md.
-        let delay = (t.n() <= 10)
-            .then(|| run_suite(&t, |_| Adversary::TargetedDelay(victims(&t))));
+        // the crash table below and the experiment notes in the README.
+        let delay = (t.n() <= 10).then(|| run_suite(&t, |_| Adversary::TargetedDelay(victims(&t))));
         rows.push(Row {
             label: t.name.clone(),
             values: vec![
@@ -153,10 +152,7 @@ fn main() {
                 ],
             });
         }
-        println!(
-            "{}",
-            render_table("BASE — symmetric DAG-Rider under fair delivery", &rows)
-        );
+        println!("{}", render_table("BASE — symmetric DAG-Rider under fair delivery", &rows));
     }
 
     println!(

@@ -1,4 +1,4 @@
-//! FIG1–FIG4 + LST1 + SMALL (see `EXPERIMENTS.md`): regenerates every figure
+//! FIG1–FIG4 + LST1 + SMALL (see the repository `README.md`): regenerates every figure
 //! of the paper and the Listing-1 verdict, then sweeps small systems to
 //! corroborate the "< 16 processes always reach a common core" remark.
 //!
@@ -22,8 +22,7 @@ fn main() {
     assert!(fps.satisfies_b3());
     qs.validate(&fps).expect("Theorem 2.4");
 
-    let quorums: Vec<ProcessSet> =
-        (0..FIG1_N).map(|i| fig1_quorum_of(ProcessId::new(i))).collect();
+    let quorums: Vec<ProcessSet> = (0..FIG1_N).map(|i| fig1_quorum_of(ProcessId::new(i))).collect();
 
     println!("=== FIGURE 1: fail-prone system (complement of each row's quorum) ===\n");
     println!("{}", render_grid(&quorums));
@@ -64,10 +63,7 @@ fn main() {
         }
         rows.push(Row {
             label: format!("n={n}, |Q|={q}"),
-            values: vec![
-                ("trials".into(), trials as f64),
-                ("no-core".into(), failures as f64),
-            ],
+            values: vec![("trials".into(), trials as f64), ("no-core".into(), failures as f64)],
         });
     }
     println!("{}", render_table("random majority-quorum systems, 3 dataflow rounds", &rows));

@@ -1,5 +1,8 @@
 //! Shared helpers for the benchmark suite and the experiment/figure
-//! regeneration binaries (see `EXPERIMENTS.md` for the experiment index).
+//! regeneration binaries (see the repository `README.md` for the
+//! experiment index).
+
+#![warn(missing_docs)]
 
 use asym_dag_rider::prelude::*;
 
@@ -67,11 +70,7 @@ pub fn measure_asym(topo: &topology::Topology, waves: u64, seed: u64) -> (f64, u
         .waves(waves)
         .blocks_per_process(1)
         .run_asymmetric();
-    (
-        report.waves_per_commit().unwrap_or(f64::INFINITY),
-        report.net.sent,
-        report.time,
-    )
+    (report.waves_per_commit().unwrap_or(f64::INFINITY), report.net.sent, report.time)
 }
 
 /// Runs the symmetric baseline with threshold `f`; same observables.
@@ -81,11 +80,7 @@ pub fn measure_sym(topo: &topology::Topology, f: usize, waves: u64, seed: u64) -
         .waves(waves)
         .blocks_per_process(1)
         .run_baseline(f);
-    (
-        report.waves_per_commit().unwrap_or(f64::INFINITY),
-        report.net.sent,
-        report.time,
-    )
+    (report.waves_per_commit().unwrap_or(f64::INFINITY), report.net.sent, report.time)
 }
 
 #[cfg(test)]

@@ -97,11 +97,7 @@ mod tests {
     use asym_quorum::{topology, ProcessSet};
     use asym_sim::{scheduler, FaultMode, Simulation};
 
-    fn cluster(
-        n: usize,
-        f: usize,
-        role_of: impl Fn(usize) -> ArbRole,
-    ) -> Vec<ArbProcess> {
+    fn cluster(n: usize, f: usize, role_of: impl Fn(usize) -> ArbRole) -> Vec<ArbProcess> {
         let t = topology::uniform_threshold(n, f);
         (0..n)
             .map(|i| ArbProcess::with_role(ProcessId::new(i), t.quorums.clone(), role_of(i)))
@@ -129,7 +125,8 @@ mod tests {
 
     #[test]
     fn many_concurrent_instances() {
-        let mut sim = Simulation::new(cluster(7, 2, |_| ArbRole::Honest), scheduler::Random::new(3));
+        let mut sim =
+            Simulation::new(cluster(7, 2, |_| ArbRole::Honest), scheduler::Random::new(3));
         for i in 0..7 {
             for tag in 0..5 {
                 sim.input(pid(i), (tag, (i * 10 + tag as usize) as u64));
@@ -173,12 +170,8 @@ mod tests {
             .with_fault(pid(0), FaultMode::CrashAfter(0));
         sim.input(pid(0), (0, 5));
         assert!(sim.run(100_000).quiescent);
-        let delivered: Vec<usize> =
-            (1..4).filter(|i| !sim.outputs(pid(*i)).is_empty()).collect();
-        assert!(
-            delivered.is_empty() || delivered.len() == 3,
-            "totality violated: {delivered:?}"
-        );
+        let delivered: Vec<usize> = (1..4).filter(|i| !sim.outputs(pid(*i)).is_empty()).collect();
+        assert!(delivered.is_empty() || delivered.len() == 3, "totality violated: {delivered:?}");
     }
 
     #[test]
@@ -211,8 +204,7 @@ mod tests {
         // The 30-process counterexample system is still a valid quorum
         // system; reliable broadcast must work fine on it.
         let qs = asym_quorum::counterexample::fig1_quorums();
-        let procs: Vec<ArbProcess> =
-            (0..30).map(|i| ArbProcess::new(pid(i), qs.clone())).collect();
+        let procs: Vec<ArbProcess> = (0..30).map(|i| ArbProcess::new(pid(i), qs.clone())).collect();
         let mut sim = Simulation::new(procs, scheduler::Random::new(1));
         sim.input(pid(4), (0, 123));
         assert!(sim.run(10_000_000).quiescent);

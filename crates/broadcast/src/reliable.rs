@@ -151,11 +151,7 @@ impl<T: Clone + Eq + Hash + core::fmt::Debug> BroadcastHub<T> {
     ///
     /// Panics if this process already broadcast under `tag`.
     pub fn broadcast(&mut self, tag: Tag, value: T) -> Vec<BcastMsg<T>> {
-        assert!(
-            self.originated.insert(tag),
-            "process {} broadcast twice under tag {tag}",
-            self.me
-        );
+        assert!(self.originated.insert(tag), "process {} broadcast twice under tag {tag}", self.me);
         vec![BcastMsg::Send { tag, value }]
     }
 
@@ -261,7 +257,8 @@ mod tests {
     #[test]
     fn echoes_for_different_values_do_not_mix() {
         let mut h = hub(0);
-        let echo = |from: usize, v| (pid(from), BcastMsg::Echo { origin: pid(3), tag: 0, value: v });
+        let echo =
+            |from: usize, v| (pid(from), BcastMsg::Echo { origin: pid(3), tag: 0, value: v });
         let (f, m) = echo(0, 1);
         h.on_message(f, m);
         let (f, m) = echo(1, 2);

@@ -25,7 +25,9 @@ use std::collections::{HashMap, HashSet};
 
 use asym_broadcast::BcastMsg;
 use asym_crypto::CommonCoin;
-use asym_dag::{position_in_wave, round_of_wave, wave_of_round, DagStore, Vertex, VertexId, WaveId};
+use asym_dag::{
+    position_in_wave, round_of_wave, wave_of_round, DagStore, Vertex, VertexId, WaveId,
+};
 use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
 use asym_sim::{Context, Protocol};
 
@@ -125,11 +127,7 @@ impl AsymDagRider {
     /// The asymmetric commit rule (Algorithm 6, line 148): all round-4
     /// vertices of some quorum of *any* process reach the leader by strong
     /// paths.
-    fn commit_rule(
-        quorums: &AsymQuorumSystem,
-        dag: &DagStore<Block>,
-        leader: VertexId,
-    ) -> bool {
+    fn commit_rule(quorums: &AsymQuorumSystem, dag: &DagStore<Block>, leader: VertexId) -> bool {
         let w = wave_of_round(leader.round);
         let r4 = round_of_wave(w, 4);
         let committers: ProcessSet = dag
@@ -155,9 +153,7 @@ impl AsymDagRider {
             &mut out,
         );
         match outcome {
-            CommitOutcome::NoLeaderVertex => {
-                self.core.metrics_mut().waves_skipped_no_leader += 1
-            }
+            CommitOutcome::NoLeaderVertex => self.core.metrics_mut().waves_skipped_no_leader += 1,
             CommitOutcome::RuleNotMet => self.core.metrics_mut().waves_skipped_rule += 1,
             CommitOutcome::Committed { .. } => self.core.metrics_mut().waves_committed += 1,
         }
@@ -296,9 +292,7 @@ mod tests {
 
     fn cluster(t: &topology::Topology, waves: WaveId) -> Vec<AsymDagRider> {
         let config = RiderConfig { max_waves: waves, ..Default::default() };
-        (0..t.n())
-            .map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), 42, config))
-            .collect()
+        (0..t.n()).map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), 42, config)).collect()
     }
 
     fn check_total_order(outputs: &[Vec<OrderedVertex>]) {
@@ -337,10 +331,8 @@ mod tests {
 
         let outputs: Vec<Vec<OrderedVertex>> =
             (0..t.n()).map(|i| sim.outputs(pid(i)).to_vec()).collect();
-        let guild_outputs: Vec<Vec<OrderedVertex>> = guild
-            .iter()
-            .map(|g| outputs[g.index()].clone())
-            .collect();
+        let guild_outputs: Vec<Vec<OrderedVertex>> =
+            guild.iter().map(|g| outputs[g.index()].clone()).collect();
         check_total_order(&guild_outputs);
         // Progress: guild members commit within the wave budget.
         for g in &guild {

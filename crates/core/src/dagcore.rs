@@ -189,10 +189,8 @@ impl DagCore {
         }
         // Everything reachable from the strong parents.
         let mut reach: HashSet<VertexId> = HashSet::new();
-        let mut queue: VecDeque<VertexId> = strong
-            .iter()
-            .map(|s| VertexId::new(round - 1, s))
-            .collect();
+        let mut queue: VecDeque<VertexId> =
+            strong.iter().map(|s| VertexId::new(round - 1, s)).collect();
         reach.extend(queue.iter().copied());
         while let Some(cur) = queue.pop_front() {
             if let Some(v) = self.dag.get(cur) {

@@ -108,9 +108,7 @@ impl DagRider {
             &mut out,
         );
         match outcome {
-            CommitOutcome::NoLeaderVertex => {
-                self.core.metrics_mut().waves_skipped_no_leader += 1
-            }
+            CommitOutcome::NoLeaderVertex => self.core.metrics_mut().waves_skipped_no_leader += 1,
             CommitOutcome::RuleNotMet => self.core.metrics_mut().waves_skipped_rule += 1,
             CommitOutcome::Committed { .. } => self.core.metrics_mut().waves_committed += 1,
         }
@@ -211,10 +209,7 @@ mod tests {
                 (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
             check_total_order(&outputs);
             // Someone must have committed something in 6 waves.
-            assert!(
-                outputs.iter().any(|o| !o.is_empty()),
-                "seed {seed}: no commits in 6 waves"
-            );
+            assert!(outputs.iter().any(|o| !o.is_empty()), "seed {seed}: no commits in 6 waves");
             // Validity: the injected blocks appear in every (long-enough) output.
             for i in 0..4 {
                 let m = sim.process(pid(i)).metrics();
@@ -231,11 +226,8 @@ mod tests {
         }
         assert!(sim.run(10_000_000).quiescent);
         for i in 0..4 {
-            let delivered: Vec<u64> = sim
-                .outputs(pid(i))
-                .iter()
-                .flat_map(|o| o.block.txs.clone())
-                .collect();
+            let delivered: Vec<u64> =
+                sim.outputs(pid(i)).iter().flat_map(|o| o.block.txs.clone()).collect();
             for tx in 1000..1004 {
                 assert!(delivered.contains(&tx), "process {i} missing tx {tx}");
             }

@@ -156,10 +156,7 @@ mod tests {
         }
         // Each process should get ~1000 draws; allow generous slack (±35%).
         for (i, c) in counts.iter().enumerate() {
-            assert!(
-                (650..=1350).contains(c),
-                "process {i} drawn {c} times out of {draws}"
-            );
+            assert!((650..=1350).contains(c), "process {i} drawn {c} times out of {draws}");
         }
     }
 

@@ -143,10 +143,7 @@ impl<B> DagStore<B> {
 
     /// The sources with a vertex in `round`.
     pub fn sources_in_round(&self, round: Round) -> ProcessSet {
-        self.rounds
-            .get(&round)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default()
+        self.rounds.get(&round).map(|m| m.keys().copied().collect()).unwrap_or_default()
     }
 
     /// Iterates over the vertices of `round` in source order.
@@ -340,15 +337,11 @@ mod tests {
         // Chain: only p0 creates vertices, each referencing only p0.
         let mut dag: DagStore<u64> = DagStore::with_genesis(3, 0);
         for r in 1..=3 {
-            dag.insert(Vertex::new(pid(0), r, r, ProcessSet::from_indices([0]), vec![]))
-                .unwrap();
+            dag.insert(Vertex::new(pid(0), r, r, ProcessSet::from_indices([0]), vec![])).unwrap();
         }
         assert!(dag.strong_path(vid(3, 0), vid(1, 0)));
         assert!(!dag.strong_path(vid(3, 0), vid(1, 1)), "p1 has no round-1 vertex");
-        assert_eq!(
-            dag.strong_reachable_sources(vid(3, 0), 0),
-            ProcessSet::from_indices([0])
-        );
+        assert_eq!(dag.strong_reachable_sources(vid(3, 0), 0), ProcessSet::from_indices([0]));
     }
 
     #[test]
@@ -358,13 +351,7 @@ mod tests {
         // a strong edge to p1's round-2 vertex and a weak edge to genesis p2.
         dag.insert(Vertex::new(pid(1), 1, 1, ProcessSet::from_indices([1]), vec![])).unwrap();
         dag.insert(Vertex::new(pid(1), 2, 2, ProcessSet::from_indices([1]), vec![])).unwrap();
-        let v = Vertex::new(
-            pid(0),
-            3,
-            3,
-            ProcessSet::from_indices([1]),
-            vec![vid(0, 2)],
-        );
+        let v = Vertex::new(pid(0), 3, 3, ProcessSet::from_indices([1]), vec![vid(0, 2)]);
         dag.insert(v).unwrap();
         assert!(dag.path(vid(3, 0), vid(0, 2)), "weak edge gives a path");
         assert!(!dag.strong_path(vid(3, 0), vid(0, 2)), "but not a strong path");

@@ -183,11 +183,7 @@ mod tests {
         let parents: Vec<VertexId> = v.parents().collect();
         assert_eq!(
             parents,
-            vec![
-                VertexId::new(2, pid(0)),
-                VertexId::new(2, pid(1)),
-                VertexId::new(1, pid(3)),
-            ]
+            vec![VertexId::new(2, pid(0)), VertexId::new(2, pid(1)), VertexId::new(1, pid(3)),]
         );
     }
 
@@ -213,13 +209,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "genesis")]
     fn genesis_with_edges_rejected() {
-        let _ = Vertex::new(
-            pid(0),
-            0,
-            Vec::<u8>::new(),
-            ProcessSet::from_indices([1]),
-            Vec::new(),
-        );
+        let _ = Vertex::new(pid(0), 0, Vec::<u8>::new(), ProcessSet::from_indices([1]), Vec::new());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub enum AsymGatherMsg<V> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AsymGatherConfig {
     /// Enable the CONFIRM-from-kernel amplification rule (lines 55–56).
-    /// Disabling it is the liveness ablation of `EXPERIMENTS.md` (ABL).
+    /// Disabling it is the liveness ablation run by `exp_ablation` (ABL).
     pub kernel_amplification: bool,
 }
 
@@ -111,11 +111,7 @@ impl<V: Clone + Eq + std::hash::Hash + core::fmt::Debug> AsymGather<V> {
     }
 
     /// Creates a gather process with an explicit configuration.
-    pub fn with_config(
-        me: ProcessId,
-        quorums: AsymQuorumSystem,
-        config: AsymGatherConfig,
-    ) -> Self {
+    pub fn with_config(me: ProcessId, quorums: AsymQuorumSystem, config: AsymGatherConfig) -> Self {
         AsymGather {
             me,
             hub: BroadcastHub::new(me, quorums.clone()),
@@ -314,9 +310,8 @@ mod tests {
         let report = sim.run(100_000_000);
         assert!(report.quiescent, "{}: run must quiesce", t.name);
 
-        let outputs: Vec<Option<ValueSet<u64>>> = (0..n)
-            .map(|i| sim.outputs(pid(i)).first().cloned())
-            .collect();
+        let outputs: Vec<Option<ValueSet<u64>>> =
+            (0..n).map(|i| sim.outputs(pid(i)).first().cloned()).collect();
         // Liveness: every guild member delivers.
         for g in &guild {
             assert!(
@@ -326,10 +321,8 @@ mod tests {
             );
         }
         // Agreement + validity over guild outputs.
-        let refs: Vec<(ProcessId, &ValueSet<u64>)> = guild
-            .iter()
-            .filter_map(|g| outputs[g.index()].as_ref().map(|u| (g, u)))
-            .collect();
+        let refs: Vec<(ProcessId, &ValueSet<u64>)> =
+            guild.iter().filter_map(|g| outputs[g.index()].as_ref().map(|u| (g, u))).collect();
         check_pairwise_agreement(&refs).expect("agreement among guild outputs");
         for (_, u) in &refs {
             for (p, v) in u.iter() {
@@ -449,11 +442,8 @@ mod tests {
     fn no_amplification_when_disabled() {
         let t = topology::uniform_threshold(4, 1);
         let cfg = AsymGatherConfig { kernel_amplification: false };
-        let mut h = Harness::new(
-            AsymGather::<u64>::with_config(pid(0), t.quorums.clone(), cfg),
-            pid(0),
-            4,
-        );
+        let mut h =
+            Harness::new(AsymGather::<u64>::with_config(pid(0), t.quorums.clone(), cfg), pid(0), 4);
         h.deliver(pid(1), AsymGatherMsg::Confirm);
         h.deliver(pid(2), AsymGatherMsg::Confirm);
         assert!(
@@ -473,13 +463,21 @@ mod tests {
             for sender in 0..4 {
                 h.deliver(
                     pid(sender),
-                    AsymGatherMsg::Arb(BcastMsg::Echo { origin: pid(origin), tag: 0, value: origin as u64 }),
+                    AsymGatherMsg::Arb(BcastMsg::Echo {
+                        origin: pid(origin),
+                        tag: 0,
+                        value: origin as u64,
+                    }),
                 );
             }
             for sender in 0..4 {
                 h.deliver(
                     pid(sender),
-                    AsymGatherMsg::Arb(BcastMsg::Ready { origin: pid(origin), tag: 0, value: origin as u64 }),
+                    AsymGatherMsg::Arb(BcastMsg::Ready {
+                        origin: pid(origin),
+                        tag: 0,
+                        value: origin as u64,
+                    }),
                 );
             }
         }

@@ -33,10 +33,9 @@ pub fn merge_pairs<V: Clone + PartialEq + core::fmt::Debug>(
 ) {
     for (p, v) in incoming {
         match target.get(p) {
-            Some(existing) => assert_eq!(
-                existing, v,
-                "agreement violation: two values for {p} reached a merge"
-            ),
+            Some(existing) => {
+                assert_eq!(existing, v, "agreement violation: two values for {p} reached a merge")
+            }
             None => {
                 target.insert(*p, v.clone());
             }
@@ -66,9 +65,7 @@ pub fn find_common_core<V: PartialEq>(
 ) -> Option<(ProcessId, ProcessSet)> {
     for owner in members {
         for q in quorums.of(owner).minimal_quorums() {
-            let in_all = outputs.iter().all(|(_, u)| {
-                q.iter().all(|p| u.contains_key(&p))
-            });
+            let in_all = outputs.iter().all(|(_, u)| q.iter().all(|p| u.contains_key(&p)));
             if in_all {
                 return Some((owner, q));
             }
@@ -144,8 +141,7 @@ mod tests {
         let members = ProcessSet::full(4);
         // Everyone holds values for {0,1,2}: a 3-quorum — common core.
         let u: ValueSet<u32> = vset(&[(0, 0), (1, 1), (2, 2)]);
-        let outputs: Vec<(ProcessId, &ValueSet<u32>)> =
-            (0..4).map(|i| (pid(i), &u)).collect();
+        let outputs: Vec<(ProcessId, &ValueSet<u32>)> = (0..4).map(|i| (pid(i), &u)).collect();
         let (owner, q) = find_common_core(&t.quorums, &members, &outputs).unwrap();
         assert!(members.contains(owner));
         assert_eq!(q.len(), 3);
@@ -168,9 +164,6 @@ mod tests {
         let b = vset(&[(1, 2), (2, 3)]);
         assert!(check_pairwise_agreement(&[(pid(0), &a), (pid(1), &b)]).is_ok());
         let c = vset(&[(1, 99)]);
-        assert_eq!(
-            check_pairwise_agreement(&[(pid(0), &a), (pid(2), &c)]),
-            Err(pid(1))
-        );
+        assert_eq!(check_pairwise_agreement(&[(pid(0), &a), (pid(2), &c)]), Err(pid(1)));
     }
 }

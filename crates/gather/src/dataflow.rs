@@ -81,9 +81,7 @@ pub fn has_common_core(quorums: &[ProcessSet]) -> bool {
 /// The Figure-1 quorum choice (one quorum per process) as a plain vector,
 /// ready for the dataflow functions.
 pub fn fig1_quorum_choice() -> Vec<ProcessSet> {
-    (0..counterexample::FIG1_N)
-        .map(|i| counterexample::fig1_quorum_of(ProcessId::new(i)))
-        .collect()
+    (0..counterexample::FIG1_N).map(|i| counterexample::fig1_quorum_of(ProcessId::new(i))).collect()
 }
 
 /// Number of dataflow rounds after which a common core appears for the given
@@ -131,11 +129,7 @@ mod tests {
         let rs = three_rounds(&fig1_quorum_choice());
         let tail = ProcessSet::from_paper_labels(16..=30);
         for (i, u) in rs.u.iter().enumerate() {
-            assert!(
-                !tail.is_subset(u),
-                "U set of process {} contains the whole tail range",
-                i + 1
-            );
+            assert!(!tail.is_subset(u), "U set of process {} contains the whole tail range", i + 1);
         }
     }
 
@@ -161,9 +155,8 @@ mod tests {
     fn fig1_has_non_reflexive_quorums() {
         // The counterexample exploits processes outside their own quorums.
         let quorums = fig1_quorum_choice();
-        let non_reflexive: Vec<usize> = (0..quorums.len())
-            .filter(|i| !quorums[*i].contains(ProcessId::new(*i)))
-            .collect();
+        let non_reflexive: Vec<usize> =
+            (0..quorums.len()).filter(|i| !quorums[*i].contains(ProcessId::new(*i))).collect();
         assert!(!non_reflexive.is_empty());
         assert!(non_reflexive.contains(&4), "process 5 (paper label) omits itself");
     }
@@ -182,9 +175,8 @@ mod tests {
         // Classic n=3f+1 with (n−f)-quorums: the symmetric gather argument.
         for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
             // Process i's quorum: the n−f processes starting at i (wrapping).
-            let quorums: Vec<ProcessSet> = (0..n)
-                .map(|i| (0..n - f).map(|k| (i + k) % n).collect())
-                .collect();
+            let quorums: Vec<ProcessSet> =
+                (0..n).map(|i| (0..n - f).map(|k| (i + k) % n).collect()).collect();
             assert!(has_common_core(&quorums), "n={n}, f={f}");
         }
     }
@@ -197,14 +189,12 @@ mod tests {
         // quorums of size ≥ ⌈(n+1)/2⌉ (pairwise intersection guaranteed).
         for n in 3..=6usize {
             let q = n / 2 + 1;
-            let all_quorums: Vec<ProcessSet> =
-                combinations(&ProcessSet::full(n), q).collect();
+            let all_quorums: Vec<ProcessSet> = combinations(&ProcessSet::full(n), q).collect();
             // Sample systematically: assign quorum (i * 7 + s) mod |all| to
             // process i for a spread of seeds s.
             for s in 0..all_quorums.len() {
-                let choice: Vec<ProcessSet> = (0..n)
-                    .map(|i| all_quorums[(i * 7 + s) % all_quorums.len()].clone())
-                    .collect();
+                let choice: Vec<ProcessSet> =
+                    (0..n).map(|i| all_quorums[(i * 7 + s) % all_quorums.len()].clone()).collect();
                 assert!(has_common_core(&choice), "n={n} seed={s}");
             }
         }

@@ -109,9 +109,7 @@ impl<V: Clone + Eq + std::hash::Hash + core::fmt::Debug> IteratedGather<V> {
             }
         }
         // Delivery: a quorum of final-level distribute messages.
-        if !self.delivered
-            && self.quorums.contains_quorum_for(self.me, &self.senders[r - 1])
-        {
+        if !self.delivered && self.quorums.contains_quorum_for(self.me, &self.senders[r - 1]) {
             self.delivered = true;
             ctx.output(self.sets[r - 1].clone());
         }
@@ -178,9 +176,7 @@ impl<V> Scheduler<IteratedGatherMsg<V>> for IteratedLemma32Scheduler {
             .filter(|(_, m)| {
                 let q = &self.quorum_of[m.to.index()];
                 match &m.msg {
-                    IteratedGatherMsg::Arb(BcastMsg::Ready { origin, .. }) => {
-                        q.contains(*origin)
-                    }
+                    IteratedGatherMsg::Arb(BcastMsg::Ready { origin, .. }) => q.contains(*origin),
                     IteratedGatherMsg::Arb(_) => true,
                     IteratedGatherMsg::Distribute { .. } => q.contains(m.from),
                 }
@@ -206,8 +202,7 @@ mod tests {
     /// Appendix-A adversary; returns whether a common core was reached.
     fn fig1_with_rounds(rounds: u32) -> bool {
         let qs = fig1_quorums();
-        let quorum_of: Vec<ProcessSet> =
-            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let quorum_of: Vec<ProcessSet> = (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
         let procs: Vec<IteratedGather<u64>> =
             (0..FIG1_N).map(|i| IteratedGather::new(pid(i), qs.clone(), rounds)).collect();
         let mut sim = Simulation::new(procs, IteratedLemma32Scheduler::new(quorum_of));
@@ -243,8 +238,7 @@ mod tests {
     #[test]
     fn matches_dataflow_round_requirement() {
         use crate::dataflow;
-        let quorum_of: Vec<ProcessSet> =
-            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let quorum_of: Vec<ProcessSet> = (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
         let needed = dataflow::rounds_to_common_core(&quorum_of, 16).unwrap() as u32;
         assert!(!fig1_with_rounds(needed - 1));
         assert!(fig1_with_rounds(needed));
@@ -260,8 +254,7 @@ mod tests {
             sim.input(pid(i), i as u64);
         }
         assert!(sim.run(100_000_000).quiescent);
-        let outputs: Vec<ValueSet<u64>> =
-            (0..7).map(|i| sim.outputs(pid(i))[0].clone()).collect();
+        let outputs: Vec<ValueSet<u64>> = (0..7).map(|i| sim.outputs(pid(i))[0].clone()).collect();
         let refs: Vec<(ProcessId, &ValueSet<u64>)> =
             outputs.iter().enumerate().map(|(i, u)| (pid(i), u)).collect();
         assert!(find_common_core(&t.quorums, &ProcessSet::full(7), &refs).is_some());

@@ -199,8 +199,7 @@ mod tests {
         // running Algorithm 2 on the Figure-1 system under the Appendix-A
         // schedule delivers U sets with NO common core.
         let qs = fig1_quorums();
-        let quorum_of: Vec<ProcessSet> =
-            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let quorum_of: Vec<ProcessSet> = (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
         let procs: Vec<NaiveGather<u64>> =
             (0..FIG1_N).map(|i| NaiveGather::new(pid(i), qs.clone())).collect();
         let mut sim = Simulation::new(procs, Lemma32Scheduler::new(quorum_of.clone()));
@@ -282,8 +281,7 @@ mod tests {
         // Outputs are final: late messages merge into local sets but cannot
         // retract or alter what was ag-delivered.
         let qs = fig1_quorums();
-        let quorum_of: Vec<ProcessSet> =
-            (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
+        let quorum_of: Vec<ProcessSet> = (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect();
         let procs: Vec<NaiveGather<u64>> =
             (0..FIG1_N).map(|i| NaiveGather::new(pid(i), qs.clone())).collect();
         let mut sim = Simulation::new(procs, Lemma32Scheduler::new(quorum_of));

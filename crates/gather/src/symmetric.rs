@@ -182,8 +182,7 @@ mod tests {
         for seed in 0..8 {
             let n = 4;
             let sim = run_cluster(n, 1, seed, &[]);
-            let outs: Vec<ValueSet<u64>> =
-                (0..n).map(|i| sim.outputs(pid(i))[0].clone()).collect();
+            let outs: Vec<ValueSet<u64>> = (0..n).map(|i| sim.outputs(pid(i))[0].clone()).collect();
             let refs: Vec<(ProcessId, &ValueSet<u64>)> =
                 outs.iter().enumerate().map(|(i, u)| (pid(i), u)).collect();
             check_pairwise_agreement(&refs).expect("agreement");

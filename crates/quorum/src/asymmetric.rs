@@ -126,10 +126,8 @@ impl AsymFailProneSystem {
                         // Build a concrete witness: three disjoint-ish slices.
                         let a = ProcessSet::from_indices(0..fi.min(n));
                         let b = ProcessSet::from_indices(fi..(fi + fj).min(n));
-                        let rest: Vec<usize> =
-                            ((fi + fj).min(n)..n).chain(0..fi.min(fj)).collect();
-                        let c: ProcessSet =
-                            rest.into_iter().take(fi.min(fj)).collect();
+                        let rest: Vec<usize> = ((fi + fj).min(n)..n).chain(0..fi.min(fj)).collect();
+                        let c: ProcessSet = rest.into_iter().take(fi.min(fj)).collect();
                         return Some(QuorumError::B3Violation {
                             i: ProcessId::new(i),
                             j: ProcessId::new(j),
@@ -276,7 +274,10 @@ impl AsymQuorumSystem {
     /// `∃Q ∈ Q_j for ANY process j: Q ⊆ observed` — used by the asymmetric
     /// DAG-Rider commit rule (Algorithm 6, line 148), which accepts a quorum
     /// of *any* participant.
-    pub fn contains_quorum_for_any(&self, observed: &ProcessSet) -> Option<(ProcessId, ProcessSet)> {
+    pub fn contains_quorum_for_any(
+        &self,
+        observed: &ProcessSet,
+    ) -> Option<(ProcessId, ProcessSet)> {
         for (i, qs) in self.systems.iter().enumerate() {
             if let Some(q) = qs.find_quorum(observed) {
                 return Some((ProcessId::new(i), q));
@@ -473,11 +474,8 @@ mod tests {
     fn theorem_2_4_on_small_explicit_systems() {
         // B3 holds ⟹ canonical quorums are consistent + available.
         let mk = |sets: Vec<Vec<usize>>| {
-            FailProneSystem::explicit(
-                4,
-                sets.into_iter().map(ProcessSet::from_indices).collect(),
-            )
-            .unwrap()
+            FailProneSystem::explicit(4, sets.into_iter().map(ProcessSet::from_indices).collect())
+                .unwrap()
         };
         let systems = vec![
             mk(vec![vec![1], vec![2]]),
@@ -512,9 +510,8 @@ mod tests {
     fn availability_violation_detected() {
         let q = QuorumSystem::explicit(3, vec![set(&[0, 1, 2])]).unwrap();
         let qs = AsymQuorumSystem::uniform(q);
-        let fps = AsymFailProneSystem::uniform(
-            FailProneSystem::explicit(3, vec![set(&[0])]).unwrap(),
-        );
+        let fps =
+            AsymFailProneSystem::uniform(FailProneSystem::explicit(3, vec![set(&[0])]).unwrap());
         assert!(matches!(
             qs.check_availability(&fps),
             Err(QuorumError::AvailabilityViolation { .. })

@@ -21,36 +21,36 @@ pub const FIG1_N: usize = 30;
 /// The single quorum of each process, using the paper's **one-based** labels,
 /// exactly as printed in Listing 1.
 pub const FIG1_QUORUMS_1BASED: [[usize; 6]; FIG1_N] = [
-    [1, 2, 3, 4, 5, 16],   // quorum of process 1
-    [1, 6, 7, 8, 9, 17],   // 2
-    [1, 2, 3, 4, 5, 18],   // 3
-    [1, 6, 7, 8, 9, 19],   // 4
-    [2, 6, 10, 11, 12, 20],// 5
-    [4, 8, 11, 13, 15, 21],// 6
-    [4, 8, 11, 13, 15, 22],// 7
-    [5, 9, 12, 14, 15, 23],// 8
-    [5, 9, 12, 14, 15, 24],// 9
-    [4, 8, 11, 13, 15, 25],// 10
-    [1, 6, 7, 8, 9, 26],   // 11
-    [2, 6, 10, 11, 12, 27],// 12
-    [3, 7, 10, 13, 14, 28],// 13
-    [3, 7, 10, 13, 14, 29],// 14
-    [5, 9, 12, 14, 15, 30],// 15
-    [1, 2, 3, 4, 5, 16],   // 16
-    [1, 2, 3, 4, 5, 16],   // 17
-    [1, 2, 3, 4, 5, 16],   // 18
-    [1, 2, 3, 4, 5, 16],   // 19
-    [1, 6, 7, 8, 9, 27],   // 20
-    [1, 6, 7, 8, 9, 27],   // 21
-    [1, 6, 7, 8, 9, 20],   // 22
-    [2, 6, 10, 11, 12, 30],// 23
-    [2, 6, 10, 11, 12, 30],// 24
-    [1, 6, 7, 8, 9, 22],   // 25
-    [1, 2, 3, 4, 5, 16],   // 26
-    [1, 6, 7, 8, 9, 27],   // 27
-    [1, 2, 3, 4, 5, 16],   // 28
-    [1, 2, 3, 4, 5, 29],   // 29
-    [2, 6, 10, 11, 12, 30],// 30
+    [1, 2, 3, 4, 5, 16],    // quorum of process 1
+    [1, 6, 7, 8, 9, 17],    // 2
+    [1, 2, 3, 4, 5, 18],    // 3
+    [1, 6, 7, 8, 9, 19],    // 4
+    [2, 6, 10, 11, 12, 20], // 5
+    [4, 8, 11, 13, 15, 21], // 6
+    [4, 8, 11, 13, 15, 22], // 7
+    [5, 9, 12, 14, 15, 23], // 8
+    [5, 9, 12, 14, 15, 24], // 9
+    [4, 8, 11, 13, 15, 25], // 10
+    [1, 6, 7, 8, 9, 26],    // 11
+    [2, 6, 10, 11, 12, 27], // 12
+    [3, 7, 10, 13, 14, 28], // 13
+    [3, 7, 10, 13, 14, 29], // 14
+    [5, 9, 12, 14, 15, 30], // 15
+    [1, 2, 3, 4, 5, 16],    // 16
+    [1, 2, 3, 4, 5, 16],    // 17
+    [1, 2, 3, 4, 5, 16],    // 18
+    [1, 2, 3, 4, 5, 16],    // 19
+    [1, 6, 7, 8, 9, 27],    // 20
+    [1, 6, 7, 8, 9, 27],    // 21
+    [1, 6, 7, 8, 9, 20],    // 22
+    [2, 6, 10, 11, 12, 30], // 23
+    [2, 6, 10, 11, 12, 30], // 24
+    [1, 6, 7, 8, 9, 22],    // 25
+    [1, 2, 3, 4, 5, 16],    // 26
+    [1, 6, 7, 8, 9, 27],    // 27
+    [1, 2, 3, 4, 5, 16],    // 28
+    [1, 2, 3, 4, 5, 29],    // 29
+    [2, 6, 10, 11, 12, 30], // 30
 ];
 
 /// Returns the single (zero-based) quorum of process `p` in the Figure-1

@@ -93,19 +93,17 @@ impl fmt::Display for QuorumError {
             QuorumError::EmptyQuorum { process } => {
                 write!(f, "quorum system of {process} contains an empty quorum")
             }
-            QuorumError::B3Violation { i, j, fi, fj, fij } => write!(
-                f,
-                "B3 violated for ({i}, {j}): {fi} ∪ {fj} ∪ {fij} covers all processes"
-            ),
+            QuorumError::B3Violation { i, j, fi, fj, fij } => {
+                write!(f, "B3 violated for ({i}, {j}): {fi} ∪ {fj} ∪ {fij} covers all processes")
+            }
             QuorumError::Q3Violation { witness } => write!(
                 f,
                 "Q3 violated: {} ∪ {} ∪ {} covers all processes",
                 witness[0], witness[1], witness[2]
             ),
-            QuorumError::ConsistencyViolation { i, j, qi, qj, fij } => write!(
-                f,
-                "quorum consistency violated for ({i}, {j}): {qi} ∩ {qj} ⊆ {fij}"
-            ),
+            QuorumError::ConsistencyViolation { i, j, qi, qj, fij } => {
+                write!(f, "quorum consistency violated for ({i}, {j}): {qi} ∩ {qj} ⊆ {fij}")
+            }
             QuorumError::AvailabilityViolation { process, fail_prone } => write!(
                 f,
                 "quorum availability violated for {process}: no quorum avoids {fail_prone}"

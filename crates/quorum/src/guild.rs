@@ -38,11 +38,7 @@ impl core::fmt::Display for ProcessClass {
 }
 
 /// Classifies one process with respect to the actual failure set.
-pub fn classify(
-    fps: &AsymFailProneSystem,
-    faulty: &ProcessSet,
-    p: ProcessId,
-) -> ProcessClass {
+pub fn classify(fps: &AsymFailProneSystem, faulty: &ProcessSet, p: ProcessId) -> ProcessClass {
     if faulty.contains(p) {
         ProcessClass::Faulty
     } else if fps.foresees(p, faulty) {
@@ -105,10 +101,8 @@ pub fn maximal_guild(
 ) -> Option<ProcessSet> {
     let mut guild = wise_processes(fps, faulty);
     loop {
-        let lacking: Vec<ProcessId> = guild
-            .iter()
-            .filter(|p| !qs.contains_quorum_for(*p, &guild))
-            .collect();
+        let lacking: Vec<ProcessId> =
+            guild.iter().filter(|p| !qs.contains_quorum_for(*p, &guild)).collect();
         if lacking.is_empty() {
             break;
         }
@@ -181,13 +175,8 @@ mod tests {
         // 4 processes. p0..p2 assume {3} may fail; p3 assumes {0} may fail.
         let f_a = FailProneSystem::explicit(4, vec![set(&[3])]).unwrap();
         let f_b = FailProneSystem::explicit(4, vec![set(&[0])]).unwrap();
-        let fps = AsymFailProneSystem::new(vec![
-            f_a.clone(),
-            f_a.clone(),
-            f_a.clone(),
-            f_b,
-        ])
-        .unwrap();
+        let fps =
+            AsymFailProneSystem::new(vec![f_a.clone(), f_a.clone(), f_a.clone(), f_b]).unwrap();
         let qs = fps.canonical_quorums();
         // Actual failure: {3}. p0..p2 wise; p3 faulty.
         let guild = maximal_guild(&fps, &qs, &set(&[3])).unwrap();
@@ -204,17 +193,10 @@ mod tests {
         // Chain of dependencies: p0's quorum needs p1, p1's needs p2, p2's
         // needs the (faulty) p3 — everyone unravels even though all "wise".
         let q = |ids: &[usize]| QuorumSystem::explicit(4, vec![set(ids)]).unwrap();
-        let qs = AsymQuorumSystem::new(vec![
-            q(&[0, 1]),
-            q(&[1, 2]),
-            q(&[2, 3]),
-            q(&[3]),
-        ])
-        .unwrap();
+        let qs = AsymQuorumSystem::new(vec![q(&[0, 1]), q(&[1, 2]), q(&[2, 3]), q(&[3])]).unwrap();
         // Everyone's fail-prone system covers {3} so all correct are wise.
-        let fps = AsymFailProneSystem::uniform(
-            FailProneSystem::explicit(4, vec![set(&[3])]).unwrap(),
-        );
+        let fps =
+            AsymFailProneSystem::uniform(FailProneSystem::explicit(4, vec![set(&[3])]).unwrap());
         assert_eq!(maximal_guild(&fps, &qs, &set(&[3])), None);
         // Without failures, the full set is a guild.
         let guild = maximal_guild(&fps, &qs, &ProcessSet::new()).unwrap();

@@ -134,11 +134,8 @@ impl ProcessSet {
 
     /// Returns the union `self ∪ other`.
     pub fn union(&self, other: &Self) -> Self {
-        let (long, short) = if self.blocks.len() >= other.blocks.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (long, short) =
+            if self.blocks.len() >= other.blocks.len() { (self, other) } else { (other, self) };
         let mut blocks = long.blocks.clone();
         for (b, s) in blocks.iter_mut().zip(&short.blocks) {
             *b |= s;
@@ -148,12 +145,8 @@ impl ProcessSet {
 
     /// Returns the intersection `self ∩ other`.
     pub fn intersection(&self, other: &Self) -> Self {
-        let mut blocks: Vec<u64> = self
-            .blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| a & b)
-            .collect();
+        let mut blocks: Vec<u64> =
+            self.blocks.iter().zip(&other.blocks).map(|(a, b)| a & b).collect();
         while blocks.last() == Some(&0) {
             blocks.pop();
         }
@@ -173,11 +166,8 @@ impl ProcessSet {
 
     /// Returns the symmetric difference `self △ other`.
     pub fn symmetric_difference(&self, other: &Self) -> Self {
-        let (long, short) = if self.blocks.len() >= other.blocks.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (long, short) =
+            if self.blocks.len() >= other.blocks.len() { (self, other) } else { (other, self) };
         let mut blocks = long.blocks.clone();
         for (b, s) in blocks.iter_mut().zip(&short.blocks) {
             *b ^= s;

@@ -227,16 +227,13 @@ impl FailProneSystem {
         match self {
             FailProneSystem::Threshold { n, f } => QuorumSystem::Threshold { n: *n, q: n - f },
             FailProneSystem::Explicit { n, sets } => {
-                let mut quorums: Vec<ProcessSet> =
-                    sets.iter().map(|s| s.complement(*n)).collect();
+                let mut quorums: Vec<ProcessSet> = sets.iter().map(|s| s.complement(*n)).collect();
                 retain_minimal(&mut quorums);
                 QuorumSystem::Explicit { n: *n, quorums }
             }
-            FailProneSystem::SliceThreshold { n, slice, f } => QuorumSystem::SliceThreshold {
-                n: *n,
-                slice: slice.clone(),
-                q: slice.len() - f,
-            },
+            FailProneSystem::SliceThreshold { n, slice, f } => {
+                QuorumSystem::SliceThreshold { n: *n, slice: slice.clone(), q: slice.len() - f }
+            }
         }
     }
 }
@@ -585,11 +582,9 @@ mod tests {
     #[test]
     fn q3_explicit() {
         let good =
-            FailProneSystem::explicit(4, vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])])
-                .unwrap();
+            FailProneSystem::explicit(4, vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])]).unwrap();
         assert!(good.satisfies_q3());
-        let bad =
-            FailProneSystem::explicit(3, vec![set(&[0]), set(&[1]), set(&[2])]).unwrap();
+        let bad = FailProneSystem::explicit(3, vec![set(&[0]), set(&[1]), set(&[2])]).unwrap();
         assert!(!bad.satisfies_q3());
     }
 
@@ -606,10 +601,7 @@ mod tests {
     fn canonical_quorums_explicit_are_complements() {
         let fps = FailProneSystem::explicit(4, vec![set(&[0]), set(&[1, 2])]).unwrap();
         let qs = fps.canonical_quorums();
-        assert_eq!(
-            qs.minimal_quorums(),
-            vec![set(&[0, 3]), set(&[1, 2, 3])],
-        );
+        assert_eq!(qs.minimal_quorums(), vec![set(&[0, 3]), set(&[1, 2, 3])],);
     }
 
     #[test]
@@ -691,14 +683,8 @@ mod tests {
         let fps_t = FailProneSystem::threshold(5, 1);
         let fps_e = FailProneSystem::explicit(5, fps_t.maximal_sets()).unwrap();
         assert_eq!(fps_t.satisfies_q3(), fps_e.satisfies_q3());
-        assert_eq!(
-            t.check_consistency(&fps_t).is_ok(),
-            e.check_consistency(&fps_e).is_ok()
-        );
-        assert_eq!(
-            t.check_availability(&fps_t).is_ok(),
-            e.check_availability(&fps_e).is_ok()
-        );
+        assert_eq!(t.check_consistency(&fps_t).is_ok(), e.check_consistency(&fps_e).is_ok());
+        assert_eq!(t.check_availability(&fps_t).is_ok(), e.check_availability(&fps_e).is_ok());
     }
 
     #[test]

@@ -62,6 +62,23 @@ pub fn uniform_threshold(n: usize, f: usize) -> Topology {
 /// UNL. Neighbouring processes have heavily overlapping but *distinct* trust
 /// assumptions.
 ///
+/// # Examples
+///
+/// With large overlap the system satisfies B³ and admits valid asymmetric
+/// quorums; with small, nearly disjoint UNLs it cannot:
+///
+/// ```
+/// use asym_quorum::topology;
+///
+/// let good = topology::ripple_unl(10, 8, 1);
+/// assert!(good.fail_prone.satisfies_b3());
+/// assert!(good.quorums.validate(&good.fail_prone).is_ok());
+/// assert_eq!(good.n(), 10);
+///
+/// let bad = topology::ripple_unl(12, 4, 1);
+/// assert!(!bad.fail_prone.satisfies_b3());
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `unl > n`, `unl == 0`, or `f >= unl`.
@@ -87,6 +104,22 @@ pub fn ripple_unl(n: usize, unl: usize, f: usize) -> Topology {
 /// `core ∪ {itself}` with the same threshold. This models the "everyone
 /// ultimately watches a set of anchor institutions" configuration the Stellar
 /// network converged to.
+///
+/// # Examples
+///
+/// Leaf failures never affect anyone else's assumptions, so the guild is
+/// everything except the failed leaves:
+///
+/// ```
+/// use asym_quorum::{maximal_guild, topology, ProcessSet};
+///
+/// let t = topology::stellar_tiers(12, 4, 1);
+/// assert!(t.fail_prone.satisfies_b3());
+///
+/// let faulty = ProcessSet::from_indices([8, 9]);
+/// let guild = maximal_guild(&t.fail_prone, &t.quorums, &faulty).unwrap();
+/// assert_eq!(guild, ProcessSet::full(12).difference(&faulty));
+/// ```
 ///
 /// # Panics
 ///

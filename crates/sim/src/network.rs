@@ -351,8 +351,7 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
                 self.stats.delivered += 1;
                 let mut sends = Vec::new();
                 let n = self.n();
-                let mut ctx =
-                    Context::new(m.to, n, self.now, &mut sends, &mut self.outputs[i]);
+                let mut ctx = Context::new(m.to, n, self.now, &mut sends, &mut self.outputs[i]);
                 self.nodes[i].on_message(m.from, m.msg, &mut ctx);
                 self.enqueue(i, sends);
             }
@@ -428,9 +427,7 @@ mod tests {
             let mut sim =
                 Simulation::new(vec![Gossip, Gossip, Gossip], scheduler::Random::new(seed));
             sim.run(1_000);
-            (0..3)
-                .map(|i| sim.outputs(ProcessId::new(i)).to_vec())
-                .collect::<Vec<_>>()
+            (0..3).map(|i| sim.outputs(ProcessId::new(i)).to_vec()).collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         // Different seeds usually give different delivery orders.
@@ -489,7 +486,8 @@ mod tests {
     #[test]
     fn filtered_scheduler_starves_then_flush_delivers() {
         let allow = |from: ProcessId, _to: ProcessId| from.index() != 0;
-        let mut sim = Simulation::new(vec![Gossip, Gossip, Gossip], scheduler::Filtered::new(allow));
+        let mut sim =
+            Simulation::new(vec![Gossip, Gossip, Gossip], scheduler::Filtered::new(allow));
         let report = sim.run(1_000);
         assert!(report.quiescent);
         // p0's 3 broadcast copies starved.
@@ -501,10 +499,8 @@ mod tests {
 
     #[test]
     fn latency_scheduler_advances_clock_beyond_steps() {
-        let mut sim = Simulation::new(
-            vec![Gossip, Gossip],
-            scheduler::RandomLatency::new(3, 10, 20),
-        );
+        let mut sim =
+            Simulation::new(vec![Gossip, Gossip], scheduler::RandomLatency::new(3, 10, 20));
         let report = sim.run(1_000);
         assert!(report.quiescent);
         assert!(sim.now() >= 10, "clock advanced by latency, got {}", sim.now());

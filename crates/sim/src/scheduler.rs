@@ -65,11 +65,7 @@ pub struct Fifo;
 
 impl<M> Scheduler<M> for Fifo {
     fn next(&mut self, pending: &[InFlight<M>], _now: Step) -> Option<usize> {
-        pending
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, m)| m.seq)
-            .map(|(i, _)| i)
+        pending.iter().enumerate().min_by_key(|(_, m)| m.seq).map(|(i, _)| i)
     }
 }
 
@@ -119,15 +115,17 @@ impl RandomLatency {
     /// Panics if `min > max` or `max == 0`.
     pub fn new(seed: u64, min: Step, max: Step) -> Self {
         assert!(min <= max && max > 0, "latency range must be non-empty and positive");
-        RandomLatency { rng: SmallRng::seed_from_u64(seed), min, max, deadlines: Default::default() }
+        RandomLatency {
+            rng: SmallRng::seed_from_u64(seed),
+            min,
+            max,
+            deadlines: Default::default(),
+        }
     }
 
     fn deadline(&mut self, m: &InFlight<impl Sized>) -> Step {
         let (rng, min, max) = (&mut self.rng, self.min, self.max);
-        *self
-            .deadlines
-            .entry(m.seq)
-            .or_insert_with(|| m.sent_at + rng.random_range(min..=max))
+        *self.deadlines.entry(m.seq).or_insert_with(|| m.sent_at + rng.random_range(min..=max))
     }
 }
 
@@ -180,12 +178,7 @@ impl<M> Scheduler<M> for TargetedDelay {
             .enumerate()
             .filter(|(_, m)| !self.targets(*m))
             .min_by_key(|(_, m)| m.seq)
-            .or_else(|| {
-                pending
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, m)| m.seq)
-            })
+            .or_else(|| pending.iter().enumerate().min_by_key(|(_, m)| m.seq))
             .map(|(i, _)| i)
     }
 }
@@ -297,10 +290,8 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed() {
         let pending: Vec<_> = (0..10).map(|i| msg(i, 0, 1)).collect();
-        let picks_a: Vec<_> =
-            (0..20).map(|_| Random::new(7).next(&pending, 0).unwrap()).collect();
-        let picks_b: Vec<_> =
-            (0..20).map(|_| Random::new(7).next(&pending, 0).unwrap()).collect();
+        let picks_a: Vec<_> = (0..20).map(|_| Random::new(7).next(&pending, 0).unwrap()).collect();
+        let picks_b: Vec<_> = (0..20).map(|_| Random::new(7).next(&pending, 0).unwrap()).collect();
         assert_eq!(picks_a, picks_b);
     }
 

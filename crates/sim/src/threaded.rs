@@ -174,10 +174,7 @@ where
     drop(senders);
     drop(receivers);
 
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("node thread must not panic"))
-        .collect()
+    handles.into_iter().map(|h| h.join().expect("node thread must not panic")).collect()
 }
 
 #[cfg(test)]

@@ -72,12 +72,7 @@ fn identical_seeds_identical_traces() {
         let mut sim = Simulation::new(vec![PingPong, PingPong], scheduler::Random::new(seed));
         sim.input(pid(0), 0);
         sim.run(500);
-        (
-            sim.outputs(pid(0)).to_vec(),
-            sim.outputs(pid(1)).to_vec(),
-            sim.stats(),
-            sim.now(),
-        )
+        (sim.outputs(pid(0)).to_vec(), sim.outputs(pid(1)).to_vec(), sim.stats(), sim.now())
     };
     assert_eq!(run(9), run(9));
 }

@@ -31,10 +31,7 @@ fn main() {
     let everyone = ProcessSet::full(n);
     report.assert_total_order(&everyone);
     for i in 0..n {
-        assert!(
-            !report.outputs[i].is_empty(),
-            "process {i} must commit after the heal"
-        );
+        assert!(!report.outputs[i].is_empty(), "process {i} must commit after the heal");
     }
     println!("after heal: every process committed; total order verified ✓");
     for (i, m) in report.metrics.iter().enumerate() {
@@ -47,11 +44,8 @@ fn main() {
     // Control run without the partition, same seeds: the partition only
     // delays — it cannot change the committed order (determinism lets us
     // compare like-for-like).
-    let control = Cluster::new(t)
-        .adversary(Adversary::Fifo)
-        .waves(6)
-        .blocks_per_process(2)
-        .run_asymmetric();
+    let control =
+        Cluster::new(t).adversary(Adversary::Fifo).waves(6).blocks_per_process(2).run_asymmetric();
     let a: Vec<_> = report.outputs[0].iter().map(|o| o.id).collect();
     let b: Vec<_> = control.outputs[0].iter().map(|o| o.id).collect();
     let common = a.len().min(b.len());

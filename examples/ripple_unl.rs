@@ -40,10 +40,7 @@ fn main() {
     println!(
         "  asymmetric DAG-Rider: {} waves/commit, {} txs ordered, \
          {} messages, simulated time {}",
-        report
-            .waves_per_commit()
-            .map(|w| format!("{w:.2}"))
-            .unwrap_or_else(|| "∞".into()),
+        report.waves_per_commit().map(|w| format!("{w:.2}")).unwrap_or_else(|| "∞".into()),
         report.max_txs_ordered(),
         report.net.sent,
         report.time
@@ -61,10 +58,7 @@ fn main() {
     println!(
         "  symmetric baseline (f=1): {} waves/commit, {} txs ordered, \
          {} messages, simulated time {}",
-        baseline
-            .waves_per_commit()
-            .map(|w| format!("{w:.2}"))
-            .unwrap_or_else(|| "∞".into()),
+        baseline.waves_per_commit().map(|w| format!("{w:.2}")).unwrap_or_else(|| "∞".into()),
         baseline.max_txs_ordered(),
         baseline.net.sent,
         baseline.time

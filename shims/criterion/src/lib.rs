@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of the criterion API the `crates/bench` suite uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a short warm-up, then a timed
+//! batch sized to roughly [`Criterion::measurement_budget`] — and reports
+//! mean wall-clock time per iteration on stdout. It has no statistical
+//! analysis, HTML reports, or comparison baselines; it exists so `cargo
+//! bench` runs every benchmark and prints honest, order-of-magnitude
+//! numbers. When a benchmark filter argument is given on the command line
+//! (as `cargo bench -- <filter>` passes), only matching benchmarks run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to every registered bench function.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards extra args; honour the first
+        // non-flag one the way real criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.as_ref(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { budget: self.budget, report: None };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) => println!(
+                "bench: {id:<60} {:>12}/iter ({} iters)",
+                format_duration(r.per_iter),
+                r.iters
+            ),
+            None => println!("bench: {id:<60} (no measurement taken)"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Accepts criterion's sample-count hint. The shim sizes its measured
+    /// batch by time budget instead, so this only needs to exist.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group. (No-op in the shim; exists for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+struct Measurement {
+    per_iter: Duration,
+    iters: u64,
+}
+
+/// Times the closure handed to it by a benchmark body.
+pub struct Bencher {
+    budget: Duration,
+    report: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, first warming up, then timing a batch sized to
+    /// fit the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warmup_start.elapsed().checked_div(warmup_iters as u32).unwrap_or_default();
+        let iters = if est.is_zero() {
+            1_000_000
+        } else {
+            (self.budget.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.report = Some(Measurement { per_iter: elapsed / iters as u32, iters });
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] for parity with real criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { filter: None, budget: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("match-me".into()), budget: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran, "filtered-out benchmark must not execute");
+        c.bench_function("match-me-exactly", |_b| {
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let id = BenchmarkId::new("union", 128);
+        assert_eq!(id.to_string(), "union/128");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn macros_generate_runnable_group() {
+        demo_group();
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) framework.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the minimal serde data-model core that `asym_quorum::ProcessSet`'s
+//! hand-written `Serialize`/`Deserialize` implementations need:
+//!
+//! * [`Serialize`] / [`Serializer`] with sequence support ([`ser::SerializeSeq`]),
+//! * [`Deserialize`] / [`Deserializer`] with [`de::Visitor`] and
+//!   [`de::SeqAccess`],
+//! * [`de::value::SeqDeserializer`] so sequences can be deserialized from
+//!   plain iterators in tests,
+//! * primitive implementations for the integer types the reproduction
+//!   serializes.
+//!
+//! The trait signatures match real serde, so swapping the real crate back in
+//! requires only a manifest change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// Serialization half of the data model.
+pub mod ser {
+    use core::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data structure that can be serialized into any serde data format.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A data format that can serialize the serde data model.
+    pub trait Serializer: Sized {
+        /// Value produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error: Error;
+        /// Sub-serializer for sequences.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+        /// Begins serializing a sequence of `len` elements (if known).
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    }
+
+    /// Incremental serialization of a sequence.
+    pub trait SerializeSeq {
+        /// Value produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Serializes one element.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    macro_rules! impl_serialize_uint {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_u64(*self as u64)
+                }
+            }
+        )*};
+    }
+
+    impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut seq = serializer.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+}
+
+/// Deserialization half of the data model.
+pub mod de {
+    use core::fmt::{self, Display};
+    use core::marker::PhantomData;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data structure deserializable from any serde data format.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A data format that can deserialize the serde data model.
+    pub trait Deserializer<'de>: Sized {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Deserializes a `u64`, driving the visitor.
+        fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+        /// Deserializes a sequence, driving the visitor.
+        fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Walks the structure of a deserialized value.
+    pub trait Visitor<'de>: Sized {
+        /// The value built by this visitor.
+        type Value;
+
+        /// Describes what this visitor expects, for error messages.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits an unsigned integer.
+        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::custom(format_args!("unexpected u64, expecting {}", Expected(&self))))
+        }
+
+        /// Visits a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+            let _ = seq;
+            Err(A::Error::custom(format_args!(
+                "unexpected sequence, expecting {}",
+                Expected(&self)
+            )))
+        }
+    }
+
+    struct Expected<'a, V>(&'a V);
+
+    impl<'de, V: Visitor<'de>> Display for Expected<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+
+    /// Provides the elements of a sequence one at a time.
+    pub trait SeqAccess<'de> {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Returns the next element, or `None` at the end of the sequence.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+
+    macro_rules! impl_deserialize_uint {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct UintVisitor;
+                    impl<'de> Visitor<'de> for UintVisitor {
+                        type Value = $t;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str(concat!("a ", stringify!($t)))
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                            <$t>::try_from(v).map_err(|_| {
+                                E::custom(format_args!("{v} out of range for {}", stringify!($t)))
+                            })
+                        }
+                    }
+                    deserializer.deserialize_u64(UintVisitor)
+                }
+            }
+        )*};
+    }
+
+    impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct VecVisitor<T>(PhantomData<T>);
+            impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+                type Value = Vec<T>;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("a sequence")
+                }
+                fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                    let mut out = Vec::new();
+                    while let Some(item) = seq.next_element::<T>()? {
+                        out.push(item);
+                    }
+                    Ok(out)
+                }
+            }
+            deserializer.deserialize_seq(VecVisitor(PhantomData))
+        }
+    }
+
+    /// Ready-made deserializers over in-memory values.
+    pub mod value {
+        use super::*;
+
+        /// A plain-string deserialization error.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct Error {
+            msg: String,
+        }
+
+        impl Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.msg)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        impl super::Error for Error {
+            fn custom<T: Display>(msg: T) -> Self {
+                Error { msg: msg.to_string() }
+            }
+        }
+
+        impl crate::ser::Error for Error {
+            fn custom<T: Display>(msg: T) -> Self {
+                <Error as super::Error>::custom(msg)
+            }
+        }
+
+        /// Conversion of an in-memory value into a [`Deserializer`].
+        pub trait IntoDeserializer<'de, E: super::Error> {
+            /// The deserializer produced.
+            type Deserializer: Deserializer<'de, Error = E>;
+            /// Converts `self` into a deserializer.
+            fn into_deserializer(self) -> Self::Deserializer;
+        }
+
+        /// A [`Deserializer`] holding one unsigned integer.
+        pub struct U64Deserializer<E> {
+            value: u64,
+            marker: PhantomData<E>,
+        }
+
+        impl<'de, E: super::Error> Deserializer<'de> for U64Deserializer<E> {
+            type Error = E;
+
+            fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.visit_u64(self.value)
+            }
+
+            fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                let _ = visitor;
+                Err(E::custom("expected a sequence, found an integer"))
+            }
+        }
+
+        macro_rules! impl_into_deserializer_uint {
+            ($($t:ty),*) => {$(
+                impl<'de, E: super::Error> IntoDeserializer<'de, E> for $t {
+                    type Deserializer = U64Deserializer<E>;
+                    fn into_deserializer(self) -> U64Deserializer<E> {
+                        U64Deserializer { value: self as u64, marker: PhantomData }
+                    }
+                }
+            )*};
+        }
+
+        impl_into_deserializer_uint!(u8, u16, u32, u64, usize);
+
+        /// A [`Deserializer`] that yields a sequence from any iterator.
+        pub struct SeqDeserializer<I, E> {
+            iter: I,
+            marker: PhantomData<E>,
+        }
+
+        impl<I, E> SeqDeserializer<I, E> {
+            /// Wraps an iterator of in-memory values.
+            pub fn new(iter: I) -> Self {
+                SeqDeserializer { iter, marker: PhantomData }
+            }
+        }
+
+        impl<'de, I, T, E> Deserializer<'de> for SeqDeserializer<I, E>
+        where
+            I: Iterator<Item = T>,
+            T: IntoDeserializer<'de, E>,
+            E: super::Error,
+        {
+            type Error = E;
+
+            fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                let _ = visitor;
+                Err(E::custom("expected an integer, found a sequence"))
+            }
+
+            fn deserialize_seq<V: Visitor<'de>>(mut self, visitor: V) -> Result<V::Value, E> {
+                visitor.visit_seq(SeqAccessImpl { de: &mut self })
+            }
+        }
+
+        struct SeqAccessImpl<'a, I, E> {
+            de: &'a mut SeqDeserializer<I, E>,
+        }
+
+        impl<'de, 'a, I, T, E> SeqAccess<'de> for SeqAccessImpl<'a, I, E>
+        where
+            I: Iterator<Item = T>,
+            T: IntoDeserializer<'de, E>,
+            E: super::Error,
+        {
+            type Error = E;
+
+            fn next_element<U: Deserialize<'de>>(&mut self) -> Result<Option<U>, E> {
+                match self.de.iter.next() {
+                    Some(item) => U::deserialize(item.into_deserializer()).map(Some),
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::de::value::{Error as DeError, SeqDeserializer};
+    use super::de::{Deserialize, SeqAccess, Visitor};
+    use super::ser::{Serialize, SerializeSeq, Serializer};
+    use core::fmt;
+
+    /// A toy serializer that renders the serde data model as a string.
+    struct TextSerializer;
+
+    struct TextSeq {
+        parts: Vec<String>,
+    }
+
+    impl Serializer for TextSerializer {
+        type Ok = String;
+        type Error = DeError;
+        type SerializeSeq = TextSeq;
+
+        fn serialize_u64(self, v: u64) -> Result<String, DeError> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_seq(self, _len: Option<usize>) -> Result<TextSeq, DeError> {
+            Ok(TextSeq { parts: Vec::new() })
+        }
+    }
+
+    impl SerializeSeq for TextSeq {
+        type Ok = String;
+        type Error = DeError;
+
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), DeError> {
+            self.parts.push(value.serialize(TextSerializer)?);
+            Ok(())
+        }
+
+        fn end(self) -> Result<String, DeError> {
+            Ok(format!("[{}]", self.parts.join(",")))
+        }
+    }
+
+    #[test]
+    fn roundtrip_vec_u64() {
+        let rendered = vec![3u64, 1, 4].serialize(TextSerializer).unwrap();
+        assert_eq!(rendered, "[3,1,4]");
+
+        let de: SeqDeserializer<_, DeError> = SeqDeserializer::new(vec![3u64, 1, 4].into_iter());
+        let back = Vec::<u64>::deserialize(de).unwrap();
+        assert_eq!(back, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn out_of_range_integer_errors() {
+        let de: SeqDeserializer<_, DeError> = SeqDeserializer::new(vec![300u64].into_iter());
+        assert!(Vec::<u8>::deserialize(de).is_err());
+    }
+
+    impl<'de> Deserialize<'de> for VecU64 {
+        fn deserialize<D: super::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            struct V;
+            impl<'de> Visitor<'de> for V {
+                type Value = VecU64;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("a sequence of u64")
+                }
+                fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<VecU64, A::Error> {
+                    let mut out = Vec::new();
+                    while let Some(v) = seq.next_element::<u64>()? {
+                        out.push(v);
+                    }
+                    Ok(VecU64(out))
+                }
+            }
+            d.deserialize_seq(V)
+        }
+    }
+
+    struct VecU64(Vec<u64>);
+
+    #[test]
+    fn custom_visitor_drains_sequence() {
+        let de: SeqDeserializer<_, DeError> =
+            SeqDeserializer::new((0u64..5).collect::<Vec<_>>().into_iter());
+        let v = VecU64::deserialize(de).unwrap();
+        assert_eq!(v.0, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -261,11 +261,7 @@ impl Cluster {
             steps: report.steps,
             time: sim.now(),
             quiescent: report.quiescent,
-            guild: maximal_guild(
-                &self.topology.fail_prone,
-                &self.topology.quorums,
-                &self.crashed,
-            ),
+            guild: maximal_guild(&self.topology.fail_prone, &self.topology.quorums, &self.crashed),
         }
     }
 
@@ -348,10 +344,8 @@ mod tests {
 
     #[test]
     fn crashes_shrink_the_guild() {
-        let report = Cluster::new(topology::uniform_threshold(7, 2))
-            .crash([5, 6])
-            .waves(5)
-            .run_asymmetric();
+        let report =
+            Cluster::new(topology::uniform_threshold(7, 2)).crash([5, 6]).waves(5).run_asymmetric();
         let guild = report.guild.clone().unwrap();
         assert_eq!(guild, ProcessSet::from_indices([0, 1, 2, 3, 4]));
         report.assert_total_order(&guild);

@@ -56,8 +56,8 @@ pub use asym_sim as sim;
 pub mod prelude {
     pub use asym_core::{AsymDagRider, Block, DagRider, OrderedVertex, RiderConfig, RiderMetrics};
     pub use asym_quorum::{
-        maximal_guild, topology, AsymFailProneSystem, AsymQuorumSystem, FailProneSystem,
-        ProcessId, ProcessSet, QuorumSystem,
+        maximal_guild, topology, AsymFailProneSystem, AsymQuorumSystem, FailProneSystem, ProcessId,
+        ProcessSet, QuorumSystem,
     };
     pub use asym_sim::{scheduler, FaultMode, Simulation};
 

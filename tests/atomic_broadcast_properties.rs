@@ -23,10 +23,7 @@ fn check(topo: topology::Topology, adversary: Adversary, crashed: &[usize], wave
 
     // Progress: every guild member commits something.
     for g in &guild {
-        assert!(
-            !report.outputs[g.index()].is_empty(),
-            "{name}: guild member {g} ordered nothing"
-        );
+        assert!(!report.outputs[g.index()].is_empty(), "{name}: guild member {g} ordered nothing");
     }
 
     // Integrity: no duplicates within any process's output.
@@ -51,10 +48,7 @@ fn check(topo: topology::Topology, adversary: Adversary, crashed: &[usize], wave
     for g in &guild {
         let out = &report.outputs[g.index()];
         for (k, o) in out.iter().enumerate() {
-            assert_eq!(
-                o.id, report.outputs[best_idx][k].id,
-                "{name}: agreement violated at {k}"
-            );
+            assert_eq!(o.id, report.outputs[best_idx][k].id, "{name}: agreement violated at {k}");
         }
     }
 }
@@ -96,12 +90,7 @@ fn ripple_unl_random() {
 
 #[test]
 fn ripple_unl_crash_and_latency() {
-    check(
-        topology::ripple_unl(10, 8, 1),
-        Adversary::Latency { seed: 2, min: 5, max: 25 },
-        &[3],
-        8,
-    );
+    check(topology::ripple_unl(10, 8, 1), Adversary::Latency { seed: 2, min: 5, max: 25 }, &[3], 8);
 }
 
 #[test]
@@ -131,7 +120,10 @@ fn partition_then_heal_commits_everything() {
     check(
         topology::uniform_threshold(7, 2),
         Adversary::Partition {
-            groups: vec![ProcessSet::from_indices([0, 1, 2, 3]), ProcessSet::from_indices([4, 5, 6])],
+            groups: vec![
+                ProcessSet::from_indices([0, 1, 2, 3]),
+                ProcessSet::from_indices([4, 5, 6]),
+            ],
             heal_at: 1_000,
         },
         &[],

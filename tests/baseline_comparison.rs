@@ -1,6 +1,6 @@
 //! Head-to-head: asymmetric DAG-Rider vs. the symmetric baseline on the
-//! *same* workload, scheduler and coin — the BASE experiment of
-//! `EXPERIMENTS.md`. On uniform-threshold topologies both must be safe and
+//! *same* workload, scheduler and coin — the BASE experiment of the
+//! suite. On uniform-threshold topologies both must be safe and
 //! live; the asymmetric variant pays extra control messages.
 
 use asym_dag_rider::prelude::*;
@@ -52,14 +52,9 @@ fn same_coin_same_leader_schedule() {
     // committed-leader logs coincide on the waves both commit.
     let t = topology::uniform_threshold(4, 1);
     let config_waves = 6;
-    let asym = Cluster::new(t.clone())
-        .adversary(Adversary::Fifo)
-        .waves(config_waves)
-        .run_asymmetric();
-    let sym = Cluster::new(t)
-        .adversary(Adversary::Fifo)
-        .waves(config_waves)
-        .run_baseline(1);
+    let asym =
+        Cluster::new(t.clone()).adversary(Adversary::Fifo).waves(config_waves).run_asymmetric();
+    let sym = Cluster::new(t).adversary(Adversary::Fifo).waves(config_waves).run_baseline(1);
     // Outputs of the two protocols are internally consistent; cross-protocol
     // orders also agree because coin, DAG shape (FIFO) and ordering rule
     // coincide on this symmetric configuration.
@@ -78,10 +73,7 @@ fn commit_rate_scales_with_smallest_quorum_lemma_4_4() {
     // tail) and above 1 (can't beat one commit per wave).
     for (n, f) in [(4usize, 1usize), (7, 2)] {
         let t = topology::uniform_threshold(n, f);
-        let report = Cluster::new(t)
-            .adversary(Adversary::Fifo)
-            .waves(16)
-            .run_asymmetric();
+        let report = Cluster::new(t).adversary(Adversary::Fifo).waves(16).run_asymmetric();
         let wpc = report.waves_per_commit().expect("commits must happen");
         let bound = n as f64 / (n - f) as f64;
         assert!(

@@ -1,10 +1,12 @@
-//! End-to-end reproduction of the paper's Appendix A (experiment MSG2 in
-//! `EXPERIMENTS.md`): Lemma 3.2 as a real message-passing execution, its
+//! End-to-end reproduction of the paper's Appendix A (experiment MSG2):
+//! Lemma 3.2 as a real message-passing execution, its
 //! equality with the Listing-1 dataflow, and the Algorithm-3 contrast — all
 //! through the public workspace API.
 
 use asym_dag_rider::prelude::*;
-use asym_gather::{dataflow, find_common_core, AsymGather, Lemma32Scheduler, NaiveGather, ValueSet};
+use asym_gather::{
+    dataflow, find_common_core, AsymGather, Lemma32Scheduler, NaiveGather, ValueSet,
+};
 use asym_quorum::counterexample::{fig1_fail_prone, fig1_quorum_of, fig1_quorums, FIG1_N};
 
 fn pid(i: usize) -> ProcessId {

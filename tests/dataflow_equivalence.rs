@@ -88,10 +88,8 @@ fn protocol_matches_dataflow_on_shifted_window_systems() {
         let q = n / 2 + 1;
         let choice: Vec<ProcessSet> =
             (0..n).map(|i| (0..q).map(|k| (i + k) % n).collect()).collect();
-        let systems: Vec<QuorumSystem> = choice
-            .iter()
-            .map(|s| QuorumSystem::explicit(n, vec![s.clone()]).unwrap())
-            .collect();
+        let systems: Vec<QuorumSystem> =
+            choice.iter().map(|s| QuorumSystem::explicit(n, vec![s.clone()]).unwrap()).collect();
         let qs = AsymQuorumSystem::new(systems).unwrap();
         let predicted = dataflow::three_rounds(&choice);
         let observed = protocol_u_sets(&qs, &choice);

@@ -10,9 +10,7 @@ fn pid(i: usize) -> ProcessId {
 
 fn riders(t: &topology::Topology, waves: u64, coin: u64) -> Vec<AsymDagRider> {
     let config = RiderConfig { max_waves: waves, ..Default::default() };
-    (0..t.n())
-        .map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), coin, config))
-        .collect()
+    (0..t.n()).map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), coin, config)).collect()
 }
 
 fn assert_prefix_consistent(outputs: &[Vec<OrderedVertex>]) {
@@ -57,8 +55,7 @@ fn mute_process_is_tolerated_like_a_crash() {
         sim.input(pid(i), Block::new(vec![i as u64]));
     }
     assert!(sim.run(200_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> =
-        (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    let outputs: Vec<Vec<OrderedVertex>> = (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
     assert_prefix_consistent(&outputs);
     for i in [0usize, 1, 3] {
         assert!(!outputs[i].is_empty(), "p{i} must progress around the mute p2");
@@ -78,8 +75,7 @@ fn two_simultaneous_fault_kinds() {
         sim.input(pid(i), Block::new(vec![i as u64]));
     }
     assert!(sim.run(500_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> =
-        (0..10).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    let outputs: Vec<Vec<OrderedVertex>> = (0..10).map(|i| sim.outputs(pid(i)).to_vec()).collect();
     assert_prefix_consistent(&outputs);
     for (i, o) in outputs.iter().take(7).enumerate() {
         assert!(!o.is_empty(), "survivor p{i} stalled");
@@ -90,14 +86,12 @@ fn two_simultaneous_fault_kinds() {
 fn starving_one_process_delays_but_does_not_fork() {
     let t = topology::uniform_threshold(7, 2);
     let victims = ProcessSet::from_indices([0]);
-    let mut sim =
-        Simulation::new(riders(&t, 5, 42), scheduler::TargetedDelay::new(victims));
+    let mut sim = Simulation::new(riders(&t, 5, 42), scheduler::TargetedDelay::new(victims));
     for i in 0..7 {
         sim.input(pid(i), Block::new(vec![i as u64]));
     }
     assert!(sim.run(500_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> =
-        (0..7).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    let outputs: Vec<Vec<OrderedVertex>> = (0..7).map(|i| sim.outputs(pid(i)).to_vec()).collect();
     assert_prefix_consistent(&outputs);
     // Eventual delivery means even the victim catches up at quiescence.
     assert!(!outputs[0].is_empty(), "victim must catch up eventually");
@@ -115,8 +109,7 @@ fn beyond_threshold_failures_stall_but_never_fork() {
         sim.input(pid(i), Block::new(vec![i as u64]));
     }
     assert!(sim.run(50_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> =
-        (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    let outputs: Vec<Vec<OrderedVertex>> = (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
     assert_prefix_consistent(&outputs);
     assert!(
         outputs.iter().all(|o| o.is_empty()),
@@ -136,7 +129,6 @@ fn guild_destroying_crash_on_stellar_topology_stalls_safely() {
         sim.input(pid(i), Block::new(vec![i as u64]));
     }
     assert!(sim.run(50_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> =
-        (0..8).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+    let outputs: Vec<Vec<OrderedVertex>> = (0..8).map(|i| sim.outputs(pid(i)).to_vec()).collect();
     assert_prefix_consistent(&outputs);
 }

@@ -36,8 +36,7 @@ fn check_gather(topo: &topology::Topology, crashed: &[usize], seed: u64) {
         assert_eq!(out.len(), 1, "{}: guild member {g} must ag-deliver", topo.name);
         outputs.push((g, out[0].clone()));
     }
-    let refs: Vec<(ProcessId, &ValueSet<u64>)> =
-        outputs.iter().map(|(p, u)| (*p, u)).collect();
+    let refs: Vec<(ProcessId, &ValueSet<u64>)> = outputs.iter().map(|(p, u)| (*p, u)).collect();
     check_pairwise_agreement(&refs).expect("agreement");
     for (_, u) in &refs {
         for (p, v) in u.iter() {
@@ -103,9 +102,8 @@ fn ablation_no_amplification_still_safe_when_it_delivers() {
     let topo = topology::uniform_threshold(7, 2);
     let cfg = AsymGatherConfig { kernel_amplification: false };
     for seed in 0..3 {
-        let procs: Vec<AsymGather<u64>> = (0..7)
-            .map(|i| AsymGather::with_config(pid(i), topo.quorums.clone(), cfg))
-            .collect();
+        let procs: Vec<AsymGather<u64>> =
+            (0..7).map(|i| AsymGather::with_config(pid(i), topo.quorums.clone(), cfg)).collect();
         let mut sim = Simulation::new(procs, scheduler::Random::new(seed));
         for i in 0..7 {
             sim.input(pid(i), i as u64);

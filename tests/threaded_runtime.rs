@@ -30,8 +30,7 @@ fn gather_on_threads_reaches_common_core() {
                 (pid(i), r.outputs[0].clone())
             })
             .collect();
-        let refs: Vec<(ProcessId, &ValueSet<u64>)> =
-            outputs.iter().map(|(p, u)| (*p, u)).collect();
+        let refs: Vec<(ProcessId, &ValueSet<u64>)> = outputs.iter().map(|(p, u)| (*p, u)).collect();
         check_pairwise_agreement(&refs).expect("agreement under real concurrency");
         for (_, u) in &refs {
             for (p, v) in u.iter() {
@@ -51,9 +50,8 @@ fn consensus_on_threads_preserves_total_order() {
     let t = topology::uniform_threshold(n, 1);
     let config = RiderConfig { max_waves: 4, ..Default::default() };
     for _attempt in 0..3 {
-        let procs: Vec<AsymDagRider> = (0..n)
-            .map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), 42, config))
-            .collect();
+        let procs: Vec<AsymDagRider> =
+            (0..n).map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), 42, config)).collect();
         let inputs: Vec<Vec<Block>> =
             (0..n).map(|i| vec![Block::new(vec![800 + i as u64])]).collect();
         let results = threaded::run(procs, inputs);
@@ -89,8 +87,7 @@ fn consensus_on_threads_preserves_total_order() {
 fn symmetric_baseline_on_threads() {
     let n = 4;
     let config = RiderConfig { max_waves: 4, ..Default::default() };
-    let procs: Vec<DagRider> =
-        (0..n).map(|i| DagRider::new(pid(i), n, 1, 9, config)).collect();
+    let procs: Vec<DagRider> = (0..n).map(|i| DagRider::new(pid(i), n, 1, 9, config)).collect();
     let inputs: Vec<Vec<Block>> = (0..n).map(|i| vec![Block::new(vec![i as u64])]).collect();
     let results = threaded::run(procs, inputs);
     for a in &results {
