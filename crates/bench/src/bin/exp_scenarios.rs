@@ -1,0 +1,96 @@
+//! SCN: the scenario-matrix sweep — topology × fault-plan × scheduler ×
+//! seed, every cell audited by the full invariant-checker suite, with
+//! commit-latency and message-count measurements per cell.
+//!
+//! Exits non-zero if any cell violates an invariant, printing the exact
+//! `(topology, fault plan, scheduler, seed)` reproduction tuple.
+//!
+//! ```bash
+//! cargo run -p asym-bench --bin exp_scenarios            # full CI sweep
+//! cargo run -p asym-bench --bin exp_scenarios -- --smoke # tier-1 subset
+//! ```
+
+use std::collections::BTreeMap;
+
+use asym_bench::{render_table, Row};
+use asym_scenarios::{CellStatus, Matrix};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let matrix = if smoke { Matrix::smoke() } else { Matrix::full() };
+    let label = if smoke { "smoke" } else { "full" };
+
+    eprintln!(
+        "SCN — {label} sweep: {} topologies × {} fault plans × {} schedulers × {} seeds",
+        matrix.topologies.len(),
+        matrix.fault_plans.len(),
+        matrix.schedulers.len(),
+        matrix.seeds.len(),
+    );
+    let report = matrix.run();
+
+    // Aggregate seeds away: one row per (topology, fault plan, scheduler).
+    #[derive(Default)]
+    struct Agg {
+        cells: u64,
+        commits: u64,
+        sent: u64,
+        time: u64,
+        ordered: u64,
+    }
+    let mut rows: BTreeMap<String, Agg> = BTreeMap::new();
+    for (scenario, status) in &report.cells {
+        if let CellStatus::Passed(stats) = status {
+            let key =
+                format!("{} | {} | {}", scenario.topology, scenario.faults, scenario.scheduler);
+            let agg = rows.entry(key).or_default();
+            agg.cells += 1;
+            agg.commits += stats.commits as u64;
+            agg.sent += stats.sent;
+            agg.time += stats.time;
+            agg.ordered += stats.ordered;
+        }
+    }
+    let table: Vec<Row> = rows
+        .into_iter()
+        .map(|(label, a)| Row {
+            label,
+            values: vec![
+                ("seeds".into(), a.cells as f64),
+                ("commits".into(), a.commits as f64 / a.cells as f64),
+                ("ordered".into(), a.ordered as f64 / a.cells as f64),
+                ("msgs".into(), a.sent as f64 / a.cells as f64),
+                (
+                    "time/commit".into(),
+                    if a.commits > 0 { a.time as f64 / a.commits as f64 } else { f64::INFINITY },
+                ),
+            ],
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "SCN — scenario matrix: per-cell means over seeds (passed cells only).\n\
+             commits = committed waves; time/commit = simulated time per committed wave",
+            &table
+        )
+    );
+
+    println!(
+        "{} cells: {} passed, {} failed, {} unbuildable, {} unfit combinations skipped",
+        report.cells.len(),
+        report.passed(),
+        report.failures().len(),
+        report.unbuildable(),
+        report.skipped_unfit
+    );
+
+    let failures = report.failures();
+    if !failures.is_empty() {
+        eprintln!("\nFAILING CELLS ({}):", failures.len());
+        for f in &failures {
+            eprintln!("{f}\n");
+        }
+        std::process::exit(1);
+    }
+}

@@ -119,6 +119,13 @@ impl AsymDagRider {
         self.committer.decided_wave()
     }
 
+    /// The wave-commitment state (observer inspection: commit log, decided
+    /// wave, delivered-vertex set) — what the scenario harness's
+    /// `delivery_bookkeeping` invariant checker audits.
+    pub fn committer(&self) -> &WaveCommitter {
+        &self.committer
+    }
+
     /// Commit log of `(wave, leader)` pairs, in commit order.
     pub fn commit_log(&self) -> &[(WaveId, VertexId)] {
         self.committer.log()

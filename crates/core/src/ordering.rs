@@ -60,6 +60,17 @@ impl WaveCommitter {
         self.delivered.len()
     }
 
+    /// `true` if the identified vertex has been atomically delivered.
+    pub fn is_delivered(&self, vid: VertexId) -> bool {
+        self.delivered.contains(&vid)
+    }
+
+    /// The delivered vertices, in no particular order (invariant checkers
+    /// cross-reference this against the output stream and the DAG).
+    pub fn delivered(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.delivered.iter().copied()
+    }
+
     /// Runs `waveReady(w)`: elects the leader by the common coin, applies
     /// `commit_rule`, and on success walks the leader stack back to the last
     /// decided wave and delivers causal histories in deterministic order.

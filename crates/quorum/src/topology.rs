@@ -191,6 +191,117 @@ pub fn random_slices(
     None
 }
 
+/// A declarative, seed-replayable recipe for one topology family — the form
+/// a scenario matrix can enumerate, print in a failure report, and rebuild
+/// bit-for-bit.
+///
+/// Every variant maps onto one of the generator functions in this module;
+/// [`TopologySpec::build`] performs the mapping. Specs are plain data
+/// (`Copy`, `Eq`), so a failing sweep cell can report the exact spec and any
+/// reader can reconstruct the identical [`Topology`].
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::topology::TopologySpec;
+///
+/// let spec = TopologySpec::RandomSlices { n: 8, slice: 6, f: 1, seed: 42 };
+/// let a = spec.build().expect("seed 42 finds a B3 system");
+/// let b = spec.build().unwrap();
+/// assert_eq!(a.fail_prone, b.fail_prone, "specs rebuild deterministically");
+/// assert_eq!(spec.family(), "random_slices");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// [`uniform_threshold`]`(n, f)`.
+    UniformThreshold {
+        /// Number of processes.
+        n: usize,
+        /// Uniform failure threshold.
+        f: usize,
+    },
+    /// [`ripple_unl`]`(n, unl, f)`.
+    RippleUnl {
+        /// Number of processes.
+        n: usize,
+        /// UNL window size.
+        unl: usize,
+        /// Failures tolerated inside each UNL.
+        f: usize,
+    },
+    /// [`stellar_tiers`]`(n, core, f_core)`.
+    StellarTiers {
+        /// Number of processes.
+        n: usize,
+        /// Size of the trusted core tier.
+        core: usize,
+        /// Failures tolerated inside the core.
+        f_core: usize,
+    },
+    /// [`random_slices`]`(n, slice, f, seed, 200)`.
+    RandomSlices {
+        /// Number of processes.
+        n: usize,
+        /// Size of each random trust slice.
+        slice: usize,
+        /// Failures tolerated inside each slice.
+        f: usize,
+        /// Generation seed (determines the slices).
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the described topology. Returns `None` only for
+    /// [`TopologySpec::RandomSlices`] when no B³ system is found within the
+    /// attempt budget; the closed-form families always succeed.
+    pub fn build(&self) -> Option<Topology> {
+        match *self {
+            TopologySpec::UniformThreshold { n, f } => Some(uniform_threshold(n, f)),
+            TopologySpec::RippleUnl { n, unl, f } => Some(ripple_unl(n, unl, f)),
+            TopologySpec::StellarTiers { n, core, f_core } => Some(stellar_tiers(n, core, f_core)),
+            TopologySpec::RandomSlices { n, slice, f, seed } => {
+                random_slices(n, slice, f, seed, 200)
+            }
+        }
+    }
+
+    /// The family name (stable identifier for sweep tables).
+    pub fn family(&self) -> &'static str {
+        match self {
+            TopologySpec::UniformThreshold { .. } => "uniform_threshold",
+            TopologySpec::RippleUnl { .. } => "ripple_unl",
+            TopologySpec::StellarTiers { .. } => "stellar_tiers",
+            TopologySpec::RandomSlices { .. } => "random_slices",
+        }
+    }
+
+    /// Number of processes the built topology will have.
+    pub fn n(&self) -> usize {
+        match *self {
+            TopologySpec::UniformThreshold { n, .. }
+            | TopologySpec::RippleUnl { n, .. }
+            | TopologySpec::StellarTiers { n, .. }
+            | TopologySpec::RandomSlices { n, .. } => n,
+        }
+    }
+}
+
+impl core::fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            TopologySpec::UniformThreshold { n, f: t } => write!(f, "threshold(n={n},f={t})"),
+            TopologySpec::RippleUnl { n, unl, f: t } => write!(f, "ripple(n={n},unl={unl},f={t})"),
+            TopologySpec::StellarTiers { n, core, f_core } => {
+                write!(f, "stellar(n={n},core={core},f={f_core})")
+            }
+            TopologySpec::RandomSlices { n, slice, f: t, seed } => {
+                write!(f, "random(n={n},slice={slice},f={t},seed={seed})")
+            }
+        }
+    }
+}
+
 /// Samples a uniformly random failure set that the given process-class
 /// targets allow: at most `max_faulty` processes, drawn without replacement.
 pub fn random_faulty(n: usize, max_faulty: usize, rng: &mut impl Rng) -> ProcessSet {
@@ -268,6 +379,30 @@ mod tests {
     fn random_slices_impossible_configuration_returns_none() {
         // Slices of size 2 with f=1 can never satisfy B3 for n ≥ 3.
         assert!(random_slices(6, 2, 1, 7, 20).is_none());
+    }
+
+    #[test]
+    fn specs_build_their_families() {
+        let specs = [
+            TopologySpec::UniformThreshold { n: 7, f: 2 },
+            TopologySpec::RippleUnl { n: 10, unl: 8, f: 1 },
+            TopologySpec::StellarTiers { n: 12, core: 4, f_core: 1 },
+            TopologySpec::RandomSlices { n: 8, slice: 6, f: 1, seed: 42 },
+        ];
+        for spec in specs {
+            let t = spec.build().unwrap_or_else(|| panic!("{spec} must build"));
+            assert_eq!(t.n(), spec.n(), "{spec}");
+            assert!(t.fail_prone.satisfies_b3(), "{spec}");
+            assert!(t.quorums.validate(&t.fail_prone).is_ok(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn spec_display_matches_topology_name() {
+        let spec = TopologySpec::UniformThreshold { n: 4, f: 1 };
+        assert_eq!(spec.to_string(), spec.build().unwrap().name);
+        let spec = TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 };
+        assert_eq!(spec.to_string(), spec.build().unwrap().name);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Property-based coverage of the seeded topology generators: everything
+//! `random_slices` emits satisfies the quorum-system consistency
+//! precondition, and generation is a pure function of its seed — the
+//! guarantee the scenario matrix relies on to make failing cells
+//! reproducible.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use asym_quorum::topology::{self, TopologySpec};
+use asym_quorum::{maximal_guild, ProcessSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever `random_slices` returns satisfies B³ and the
+    /// consistency/availability preconditions of an asymmetric quorum
+    /// system — for arbitrary (n, slice, f, seed) draws.
+    fn random_slices_satisfy_consistency_precondition(
+        n in 4usize..10,
+        extra in 0usize..3,
+        seed in 0u64..5000,
+    ) {
+        // Keep the slice large relative to n so B³ systems exist to be found;
+        // f = 1 keeps the subset checks cheap.
+        let slice = (3 * n).div_ceil(4) + extra;
+        prop_assume!(slice <= n);
+        let Some(t) = topology::random_slices(n, slice, 1, seed, 50) else {
+            // No B³ system within the attempt budget is a legal outcome.
+            return Ok(());
+        };
+        prop_assert!(t.fail_prone.satisfies_b3(), "{}: B3 violated", t.name);
+        prop_assert!(t.quorums.check_consistency(&t.fail_prone).is_ok(), "{}", t.name);
+        prop_assert!(t.quorums.check_availability(&t.fail_prone).is_ok(), "{}", t.name);
+        prop_assert_eq!(t.n(), n);
+    }
+
+    /// Same seed ⇒ identical topology, bit for bit; and the `TopologySpec`
+    /// wrapper rebuilds the same system the direct call produces.
+    fn random_slices_deterministic_per_seed(
+        n in 5usize..9,
+        seed in 0u64..5000,
+    ) {
+        let slice = (3 * n).div_ceil(4);
+        let a = topology::random_slices(n, slice, 1, seed, 50);
+        let b = topology::random_slices(n, slice, 1, seed, 50);
+        prop_assert_eq!(a.is_some(), b.is_some());
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert_eq!(&a.fail_prone, &b.fail_prone, "seed {} not deterministic", seed);
+            prop_assert_eq!(&a.quorums, &b.quorums);
+            let via_spec = TopologySpec::RandomSlices { n, slice, f: 1, seed }
+                .build()
+                .expect("direct call succeeded");
+            prop_assert_eq!(&via_spec.fail_prone, &a.fail_prone);
+        }
+    }
+
+    /// `random_faulty` respects its cardinality bound and the process-id
+    /// range, and is deterministic given the RNG state.
+    fn random_faulty_bounded_and_deterministic(
+        n in 1usize..20,
+        max_faulty in 0usize..6,
+        seed in 0u64..5000,
+    ) {
+        let draw = |s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            (0..8).map(|_| topology::random_faulty(n, max_faulty, &mut rng))
+                .collect::<Vec<ProcessSet>>()
+        };
+        let sets = draw(seed);
+        for f in &sets {
+            prop_assert!(f.len() <= max_faulty.min(n));
+            prop_assert!(f.max_id().is_none_or(|m| m.index() < n));
+        }
+        prop_assert_eq!(sets, draw(seed), "same rng seed must redraw the same sets");
+    }
+
+    /// Generated random topologies work with the guild machinery: failing
+    /// nobody always leaves the full process set as the maximal guild.
+    fn random_slices_fault_free_guild_is_everyone(
+        n in 5usize..9,
+        seed in 0u64..1000,
+    ) {
+        let slice = (3 * n).div_ceil(4);
+        let Some(t) = topology::random_slices(n, slice, 1, seed, 50) else {
+            return Ok(());
+        };
+        let guild = maximal_guild(&t.fail_prone, &t.quorums, &ProcessSet::new());
+        prop_assert_eq!(guild, Some(ProcessSet::full(n)));
+    }
+}

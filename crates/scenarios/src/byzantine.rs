@@ -1,0 +1,176 @@
+//! Byzantine protocol variants: attackers speaking the honest wire format.
+//!
+//! Crash and omission faults live at the network layer
+//! ([`asym_sim::FaultMode`]); *Byzantine* behaviour is protocol-level
+//! deviation, so it is modelled as an alternative state machine speaking
+//! [`AsymRiderMsg`]. [`Party`] packs honest and Byzantine participants into
+//! one protocol type so a single simulation can mix them — the form every
+//! Byzantine scenario cell runs.
+
+use asym_broadcast::BcastMsg;
+use asym_core::{AsymDagRider, AsymRiderMsg, Block, OrderedVertex};
+use asym_dag::Vertex;
+use asym_quorum::{ProcessId, ProcessSet};
+use asym_sim::{Context, Protocol};
+
+/// A protocol-level attack an adversarial participant mounts once at start,
+/// staying silent afterwards (worst case: attack + crash).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzAttack {
+    /// Send *different* round-1 vertices to even and odd processes under the
+    /// same arb instance (equivocation). Reliable broadcast must ensure at
+    /// most one version is ever ordered, and the same one everywhere.
+    EquivocateVertices,
+    /// Broadcast a round-2 vertex whose strong edges reference only the
+    /// attacker — no quorum, violating the line-140 validity rule. Honest
+    /// processes must never insert it.
+    BogusStrongEdges,
+    /// Flood CONFIRM/READY messages for far-future waves (state-poisoning
+    /// probe against the Algorithm-5 control ladder).
+    ConfirmFlood,
+}
+
+impl ByzAttack {
+    /// The equivocated/invalid transaction ids this attack injects; the
+    /// no-fabrication checker treats them as Byzantine-authored.
+    pub fn injected_txs(&self) -> &'static [u64] {
+        match self {
+            ByzAttack::EquivocateVertices => &[666, 999],
+            ByzAttack::BogusStrongEdges => &[31337],
+            ByzAttack::ConfirmFlood => &[],
+        }
+    }
+}
+
+impl core::fmt::Display for ByzAttack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ByzAttack::EquivocateVertices => write!(f, "equivocate"),
+            ByzAttack::BogusStrongEdges => write!(f, "bogus-edges"),
+            ByzAttack::ConfirmFlood => write!(f, "confirm-flood"),
+        }
+    }
+}
+
+/// A Byzantine consensus participant speaking the honest message type.
+#[derive(Clone, Debug)]
+pub struct ByzProcess {
+    me: ProcessId,
+    n: usize,
+    attack: ByzAttack,
+    sent: bool,
+}
+
+impl ByzProcess {
+    /// Creates an attacker with identity `me` in an `n`-process system.
+    pub fn new(me: ProcessId, n: usize, attack: ByzAttack) -> Self {
+        ByzProcess { me, n, attack, sent: false }
+    }
+
+    /// The mounted attack.
+    pub fn attack(&self) -> ByzAttack {
+        self.attack
+    }
+}
+
+impl Protocol for ByzProcess {
+    type Msg = AsymRiderMsg;
+    type Input = Block;
+    type Output = OrderedVertex;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        if self.sent {
+            return;
+        }
+        self.sent = true;
+        match self.attack {
+            ByzAttack::EquivocateVertices => {
+                let full: ProcessSet = (0..self.n).collect();
+                for i in 0..self.n {
+                    let block = Block::new(vec![if i % 2 == 0 { 666 } else { 999 }]);
+                    let v = Vertex::new(self.me, 1, block, full.clone(), vec![]);
+                    ctx.send(
+                        ProcessId::new(i),
+                        AsymRiderMsg::Arb(BcastMsg::Send { tag: 1, value: v }),
+                    );
+                }
+            }
+            ByzAttack::BogusStrongEdges => {
+                let v = Vertex::new(
+                    self.me,
+                    2,
+                    Block::new(vec![31337]),
+                    ProcessSet::singleton(self.me),
+                    vec![],
+                );
+                ctx.broadcast(AsymRiderMsg::Arb(BcastMsg::Send { tag: 2, value: v }));
+            }
+            ByzAttack::ConfirmFlood => {
+                for wave in 1..50 {
+                    ctx.broadcast(AsymRiderMsg::Confirm { wave });
+                    ctx.broadcast(AsymRiderMsg::Ready { wave });
+                }
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        _msg: Self::Msg,
+        _ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        // Stays silent after the attack: worst case is crash + attack.
+    }
+}
+
+/// Either an honest or a Byzantine participant — one simulation, one type.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum Party {
+    /// An honest asymmetric DAG-Rider process.
+    Honest(AsymDagRider),
+    /// A protocol-level attacker.
+    Byzantine(ByzProcess),
+}
+
+impl Party {
+    /// The honest process, if this party is one.
+    pub fn as_honest(&self) -> Option<&AsymDagRider> {
+        match self {
+            Party::Honest(p) => Some(p),
+            Party::Byzantine(_) => None,
+        }
+    }
+}
+
+impl Protocol for Party {
+    type Msg = AsymRiderMsg;
+    type Input = Block;
+    type Output = OrderedVertex;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        match self {
+            Party::Honest(p) => p.on_start(ctx),
+            Party::Byzantine(p) => p.on_start(ctx),
+        }
+    }
+
+    fn on_input(&mut self, input: Block, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        if let Party::Honest(p) = self {
+            p.on_input(input, ctx)
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        match self {
+            Party::Honest(p) => p.on_message(from, msg, ctx),
+            Party::Byzantine(p) => p.on_message(from, msg, ctx),
+        }
+    }
+}

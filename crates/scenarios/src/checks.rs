@@ -1,0 +1,516 @@
+//! Reusable invariant checkers over [`ScenarioOutcome`]s.
+//!
+//! Each checker audits one claim of the paper against everything an
+//! execution observably produced. Checkers are plain functions
+//! `fn(&ScenarioOutcome) -> Result<(), String>` so sweeps can run any subset
+//! and report the violated invariant together with the exact reproduction
+//! tuple ([`ScenarioFailure`]).
+//!
+//! | checker | paper claim |
+//! |---------|-------------|
+//! | [`quiescence`] | bounded executions terminate (budget not exhausted) |
+//! | [`prefix_consistency`] | total order: outputs of honest processes are prefixes of one another |
+//! | [`no_duplicates`] | integrity: no vertex delivered twice |
+//! | [`no_fabrication`] | validity: committed blocks were really injected (or are Byzantine-authored) |
+//! | [`dag_well_formed`] | every local DAG satisfies the certified-DAG invariants incl. the line-140 quorum rule |
+//! | [`commit_log_coin`] | commit logs elect exactly the common-coin leaders, in increasing waves |
+//! | [`delivery_bookkeeping`] | the committer's delivered set and log agree exactly with the observed output stream |
+//! | [`guild_liveness`] | when a guild survives the fault plan, every guild member commits |
+//! | [`same_seed_determinism`] | the descriptor replays to the identical commit log |
+
+use std::collections::HashSet;
+
+use asym_core::OrderedVertex;
+use asym_crypto::CommonCoin;
+use asym_dag::{round_of_wave, VertexId};
+
+use crate::runner::ScenarioOutcome;
+use crate::spec::Scenario;
+
+/// One invariant checker.
+pub type CheckFn = fn(&ScenarioOutcome) -> Result<(), String>;
+
+/// The standard checker suite, in the order they are run.
+pub fn standard_checks() -> Vec<(&'static str, CheckFn)> {
+    vec![
+        ("quiescence", quiescence),
+        ("prefix_consistency", prefix_consistency),
+        ("no_duplicates", no_duplicates),
+        ("no_fabrication", no_fabrication),
+        ("dag_well_formed", dag_well_formed),
+        ("commit_log_coin", commit_log_coin),
+        ("delivery_bookkeeping", delivery_bookkeeping),
+        ("guild_liveness", guild_liveness),
+        ("same_seed_determinism", same_seed_determinism),
+    ]
+}
+
+/// An invariant violation, carrying the scenario tuple that reproduces it.
+#[derive(Clone, Debug)]
+pub struct ScenarioFailure {
+    /// The failing scenario (replay with [`replay`]).
+    pub scenario: Scenario,
+    /// Name of the violated invariant.
+    pub check: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl core::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "invariant `{}` violated: {}", self.check, self.detail)?;
+        writeln!(f, "  cell: {}", self.scenario.cell())?;
+        write!(f, "  reproduce with: asym_scenarios::replay(&{})", self.scenario.repro())
+    }
+}
+
+impl std::error::Error for ScenarioFailure {}
+
+/// Re-executes a scenario descriptor bit-for-bit — the one function call a
+/// failure report points at.
+///
+/// # Panics
+///
+/// Panics if the scenario cannot be built (see [`Scenario::try_run`]).
+pub fn replay(scenario: &Scenario) -> ScenarioOutcome {
+    scenario.run()
+}
+
+/// Runs a scenario and audits it with the full standard suite.
+///
+/// # Errors
+///
+/// The first violated invariant, as a [`ScenarioFailure`] naming the exact
+/// reproduction tuple. An unbuildable scenario is reported the same way
+/// (check name `build`).
+pub fn run_and_check_all(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioFailure> {
+    run_and_check(scenario, &standard_checks())
+}
+
+/// Runs a scenario and audits it with a chosen checker subset.
+///
+/// # Errors
+///
+/// The first violated invariant (or build error) as a [`ScenarioFailure`].
+pub fn run_and_check(
+    scenario: &Scenario,
+    checks: &[(&'static str, CheckFn)],
+) -> Result<ScenarioOutcome, ScenarioFailure> {
+    let outcome = scenario.try_run().map_err(|e| ScenarioFailure {
+        scenario: scenario.clone(),
+        check: "build",
+        detail: e.to_string(),
+    })?;
+    check_outcome(&outcome, checks)?;
+    Ok(outcome)
+}
+
+/// Audits an already-produced outcome with a checker subset.
+///
+/// # Errors
+///
+/// The first violated invariant as a [`ScenarioFailure`].
+pub fn check_outcome(
+    outcome: &ScenarioOutcome,
+    checks: &[(&'static str, CheckFn)],
+) -> Result<(), ScenarioFailure> {
+    for (name, check) in checks {
+        check(outcome).map_err(|detail| ScenarioFailure {
+            scenario: outcome.scenario.clone(),
+            check: name,
+            detail,
+        })?;
+    }
+    Ok(())
+}
+
+/// The execution must end in quiescence, not budget exhaustion — otherwise
+/// the bounded forms of the other properties are meaningless.
+pub fn quiescence(o: &ScenarioOutcome) -> Result<(), String> {
+    if o.quiescent {
+        Ok(())
+    } else {
+        Err(format!("run exhausted its {}-step budget without quiescing", o.scenario.max_steps))
+    }
+}
+
+/// Total order: the output sequences of every pair of honest processes are
+/// prefix-consistent (Definition 4.1, agreement + total order in bounded
+/// form). Crash/mute processes are honest-but-truncated, so they are
+/// included; Byzantine processes are not.
+pub fn prefix_consistency(o: &ScenarioOutcome) -> Result<(), String> {
+    for a in &o.honest {
+        for b in &o.honest {
+            let (oa, ob) = (&o.outputs[a.index()], &o.outputs[b.index()]);
+            let common = oa.len().min(ob.len());
+            for k in 0..common {
+                if oa[k].id != ob[k].id {
+                    return Err(format!(
+                        "total order forked between {a} and {b} at position {k}: {} vs {}",
+                        oa[k].id, ob[k].id
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Integrity: no honest process delivers the same vertex twice.
+pub fn no_duplicates(o: &ScenarioOutcome) -> Result<(), String> {
+    for p in &o.honest {
+        let mut seen = HashSet::new();
+        for v in &o.outputs[p.index()] {
+            if !seen.insert(v.id) {
+                return Err(format!("{p} delivered {} twice", v.id));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validity / no fabrication: a committed vertex created by an honest
+/// process carries either a filler block or a block that process really
+/// injected; a committed vertex from a Byzantine source carries only
+/// transactions its attack is known to author. Nothing is invented by the
+/// protocol.
+pub fn no_fabrication(o: &ScenarioOutcome) -> Result<(), String> {
+    for p in &o.honest {
+        for v in &o.outputs[p.index()] {
+            let src = v.id.source;
+            if o.honest.contains(src) {
+                if !v.block.is_empty() && !o.injected[src.index()].contains(&v.block) {
+                    return Err(format!(
+                        "{p} ordered {} carrying block {:?} that {src} never injected",
+                        v.id, v.block.txs
+                    ));
+                }
+            } else {
+                let attack = o
+                    .scenario
+                    .faults
+                    .byzantine()
+                    .find(|(i, _)| *i == src.index())
+                    .map(|(_, a)| a)
+                    .expect("non-honest source must be a configured attacker");
+                for tx in &v.block.txs {
+                    if !attack.injected_txs().contains(tx) {
+                        return Err(format!(
+                            "{p} ordered {} with tx {tx} not authored by the {attack} attack",
+                            v.id
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Certified-DAG well-formedness of every honest local DAG, audited through
+/// [`asym_dag::DagStore`]: parents precede children, strong edges satisfy
+/// the Algorithm-6 line-140 quorum rule, every ordered vertex is stored with
+/// the block it was ordered with, and delivery respects causality.
+pub fn dag_well_formed(o: &ScenarioOutcome) -> Result<(), String> {
+    for p in &o.honest {
+        let dag = o.dags[p.index()].as_ref().expect("honest processes snapshot their DAG");
+        let max_round = dag.max_round().unwrap_or(0);
+        for r in 1..=max_round {
+            for v in dag.vertices_in_round(r) {
+                for parent in v.parents() {
+                    if !dag.contains(parent) {
+                        return Err(format!("{p}: {} references missing parent {parent}", v.id()));
+                    }
+                }
+                if o.topology.quorums.contains_quorum_for_any(v.strong_edges()).is_none() {
+                    return Err(format!(
+                        "{p}: {} stored with strong edges {} containing no quorum (line 140)",
+                        v.id(),
+                        v.strong_edges()
+                    ));
+                }
+            }
+        }
+        // Ordered outputs come from the DAG, blocks intact, parents first.
+        let out = &o.outputs[p.index()];
+        let pos: std::collections::HashMap<_, _> =
+            out.iter().enumerate().map(|(k, v)| (v.id, k)).collect();
+        for (k, v) in out.iter().enumerate() {
+            let Some(stored) = dag.get(v.id) else {
+                return Err(format!("{p} ordered {} which is not in its DAG", v.id));
+            };
+            if stored.block() != &v.block {
+                return Err(format!("{p} ordered {} with a block differing from its DAG", v.id));
+            }
+            for parent in stored.parents() {
+                if parent.round == 0 {
+                    continue;
+                }
+                match pos.get(&parent) {
+                    None => {
+                        return Err(format!(
+                            "{p}: {} delivered but its parent {parent} never was",
+                            v.id
+                        ))
+                    }
+                    Some(pk) if *pk > k => {
+                        return Err(format!("{p}: parent {parent} delivered after child {}", v.id))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Commit logs contain exactly coin-elected wave leaders, in strictly
+/// increasing wave order, and are prefix-consistent across honest processes
+/// (the shared total order is anchored in the shared leader sequence).
+pub fn commit_log_coin(o: &ScenarioOutcome) -> Result<(), String> {
+    let coin = CommonCoin::new(o.scenario.coin_seed(), o.topology.n());
+    for p in &o.honest {
+        let log = &o.commit_logs[p.index()];
+        for w in log.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("{p}: commit log waves not increasing: {w:?}"));
+            }
+        }
+        for (wave, leader) in log {
+            let expected_round = round_of_wave(*wave, 1);
+            if leader.round != expected_round || leader.source != coin.leader(*wave) {
+                return Err(format!(
+                    "{p}: wave {wave} committed leader {leader}, but the coin elects {} in round \
+                     {expected_round}",
+                    coin.leader(*wave)
+                ));
+            }
+        }
+    }
+    for a in &o.honest {
+        for b in &o.honest {
+            let (la, lb) = (&o.commit_logs[a.index()], &o.commit_logs[b.index()]);
+            let common = la.len().min(lb.len());
+            if la[..common] != lb[..common] {
+                return Err(format!("commit logs of {a} and {b} diverge within {common} entries"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Internal-state audit: each honest process's [`WaveCommitter`] bookkeeping
+/// must agree exactly with what it observably output — every output vertex
+/// is marked delivered, nothing is marked delivered that was not output,
+/// the snapshot's log equals the recorded commit log, and the decided wave
+/// bounds it.
+///
+/// [`WaveCommitter`]: asym_core::WaveCommitter
+pub fn delivery_bookkeeping(o: &ScenarioOutcome) -> Result<(), String> {
+    for p in &o.honest {
+        let committer =
+            o.committers[p.index()].as_ref().expect("honest processes snapshot their committer");
+        let out = &o.outputs[p.index()];
+        for v in out {
+            if !committer.is_delivered(v.id) {
+                return Err(format!("{p}: output {} is not marked delivered", v.id));
+            }
+        }
+        if committer.delivered_count() != out.len() {
+            return Err(format!(
+                "{p}: committer marked {} vertices delivered but {} were output",
+                committer.delivered_count(),
+                out.len()
+            ));
+        }
+        let out_ids: HashSet<VertexId> = out.iter().map(|v| v.id).collect();
+        for vid in committer.delivered() {
+            if !out_ids.contains(&vid) {
+                return Err(format!("{p}: {vid} marked delivered but never output"));
+            }
+        }
+        if committer.log() != o.commit_logs[p.index()] {
+            return Err(format!("{p}: committer log differs from the recorded commit log"));
+        }
+        if let Some((last_wave, _)) = committer.log().last() {
+            if committer.decided_wave() < *last_wave {
+                return Err(format!(
+                    "{p}: decided wave {} behind last committed wave {last_wave}",
+                    committer.decided_wave()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Liveness under a surviving guild: if the fault plan leaves a guild, every
+/// guild member must have committed at least one vertex by quiescence. When
+/// no guild survives, nothing is promised and the check passes vacuously
+/// (safety checks still apply).
+pub fn guild_liveness(o: &ScenarioOutcome) -> Result<(), String> {
+    let Some(guild) = &o.guild else {
+        return Ok(());
+    };
+    if !o.quiescent {
+        return Ok(()); // quiescence checker reports this case
+    }
+    for g in guild {
+        if o.outputs[g.index()].is_empty() {
+            return Err(format!(
+                "guild {guild} survived the fault plan but member {g} ordered nothing in {} waves",
+                o.scenario.waves
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Same-seed determinism: re-running the descriptor yields the identical
+/// execution — outputs, commit logs, step count. This is what makes every
+/// red cell of a sweep reproducible.
+pub fn same_seed_determinism(o: &ScenarioOutcome) -> Result<(), String> {
+    let rerun = o.scenario.try_run().map_err(|e| format!("replay failed to build: {e}"))?;
+    if rerun.outputs != o.outputs {
+        return Err("replay produced different outputs".into());
+    }
+    if rerun.commit_logs != o.commit_logs {
+        return Err("replay produced different commit logs".into());
+    }
+    if rerun.steps != o.steps || rerun.time != o.time {
+        return Err(format!(
+            "replay took {} steps / {} time, original {} / {}",
+            rerun.steps, rerun.time, o.steps, o.time
+        ));
+    }
+    Ok(())
+}
+
+/// Panics unless the output sequences are pairwise prefix-consistent — the
+/// drop-in replacement for the helper the integration tests used to
+/// copy-paste.
+///
+/// # Panics
+///
+/// Panics with the fork position if two sequences diverge.
+pub fn assert_prefix_consistent(outputs: &[Vec<OrderedVertex>]) {
+    for (ai, a) in outputs.iter().enumerate() {
+        for (bi, b) in outputs.iter().enumerate() {
+            let common = a.len().min(b.len());
+            for k in 0..common {
+                assert_eq!(
+                    a[k].id, b[k].id,
+                    "total order violated between p{ai} and p{bi} at position {k}"
+                );
+            }
+        }
+    }
+}
+
+/// Panics if any output sequence delivers a vertex twice — the integrity
+/// property, for raw outputs produced outside the scenario runner (e.g. the
+/// `Cluster` harness on custom topologies).
+///
+/// # Panics
+///
+/// Panics naming the process and vertex on the first duplicate delivery.
+pub fn assert_no_duplicates(outputs: &[Vec<OrderedVertex>]) {
+    for (i, out) in outputs.iter().enumerate() {
+        let mut seen = HashSet::new();
+        for v in out {
+            assert!(seen.insert(v.id), "p{i} delivered {} twice", v.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Fault, FaultPlan, SchedulerSpec};
+    use crate::{ByzAttack, TopologySpec};
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none(),
+            SchedulerSpec::Random,
+            5,
+        )
+        .waves(4)
+    }
+
+    #[test]
+    fn standard_suite_passes_on_fault_free_run() {
+        let outcome = run_and_check_all(&scenario()).expect("all invariants hold");
+        assert!(outcome.max_commits() > 0);
+    }
+
+    #[test]
+    fn standard_suite_passes_with_byzantine_attacker() {
+        for attack in
+            [ByzAttack::EquivocateVertices, ByzAttack::BogusStrongEdges, ByzAttack::ConfirmFlood]
+        {
+            let s = Scenario::new(
+                TopologySpec::UniformThreshold { n: 4, f: 1 },
+                FaultPlan::none().with(3, Fault::Byzantine(attack)),
+                SchedulerSpec::Random,
+                2,
+            )
+            .waves(5);
+            run_and_check_all(&s).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn forced_violation_names_check_and_cell() {
+        fn impossible(_: &ScenarioOutcome) -> Result<(), String> {
+            Err("forced".into())
+        }
+        let failure =
+            run_and_check(&scenario(), &[("impossible", impossible)]).expect_err("must fail");
+        assert_eq!(failure.check, "impossible");
+        let report = failure.to_string();
+        assert!(report.contains("threshold(n=4,f=1)"), "{report}");
+        assert!(report.contains("seed=5"), "{report}");
+        assert!(report.contains("replay"), "{report}");
+    }
+
+    #[test]
+    fn unbuildable_scenario_reported_as_build_failure() {
+        let s = Scenario::new(
+            TopologySpec::RandomSlices { n: 6, slice: 2, f: 1, seed: 3 },
+            FaultPlan::none(),
+            SchedulerSpec::Fifo,
+            1,
+        );
+        let failure = run_and_check_all(&s).expect_err("cannot build");
+        assert_eq!(failure.check, "build");
+    }
+
+    #[test]
+    fn guild_liveness_is_vacuous_without_a_guild() {
+        // Two crashes with f = 1: no guild → safety-only cell must PASS.
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::crash_from_start([2, 3]),
+            SchedulerSpec::Random,
+            1,
+        )
+        .waves(4);
+        let outcome = run_and_check_all(&s).unwrap_or_else(|e| panic!("{e}"));
+        assert!(outcome.guild.is_none());
+        assert!(outcome.outputs.iter().all(|o| o.is_empty()), "nothing can commit");
+    }
+
+    #[test]
+    fn prefix_consistency_detects_a_fork() {
+        let mut outcome = scenario().run();
+        // Artificially fork one process's first output.
+        let forged = OrderedVertex {
+            id: asym_dag::VertexId::new(999, crate::pid(0)),
+            ..outcome.outputs[1][0].clone()
+        };
+        outcome.outputs[1][0] = forged;
+        assert!(prefix_consistency(&outcome).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Cross-product sweeps: topology × fault plan × scheduler × seed.
+//!
+//! A [`Matrix`] enumerates [`Scenario`]s, runs every buildable cell under
+//! the standard checker suite, and reports each cell as passed (with its
+//! measurements), failed (with the reproduction tuple) or unbuildable.
+//! Combinations whose fault plan does not fit the topology are counted as
+//! skipped rather than silently dropped.
+
+use crate::checks::{run_and_check_all, ScenarioFailure};
+use crate::runner::ScenarioOutcome;
+use crate::spec::{Fault, FaultPlan, Scenario, SchedulerSpec};
+use crate::{ByzAttack, TopologySpec};
+
+/// Measurements of one passed cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellStats {
+    /// Longest commit log across honest processes (committed waves).
+    pub commits: usize,
+    /// Vertices ordered at the best-progressed process.
+    pub ordered: u64,
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Delivery steps executed.
+    pub steps: u64,
+    /// Final simulated clock.
+    pub time: u64,
+    /// Simulated time per committed wave (`time / commits`; infinite when
+    /// nothing committed — legal in safety-only cells).
+    pub commit_latency: f64,
+}
+
+impl CellStats {
+    fn from_outcome(o: &ScenarioOutcome) -> Self {
+        let commits = o.max_commits();
+        let ordered = o.metrics.iter().map(|m| m.vertices_ordered).max().unwrap_or(0);
+        CellStats {
+            commits,
+            ordered,
+            sent: o.net.sent,
+            steps: o.steps,
+            time: o.time,
+            commit_latency: if commits > 0 {
+                o.time as f64 / commits as f64
+            } else {
+                f64::INFINITY
+            },
+        }
+    }
+}
+
+/// Result of one matrix cell.
+#[derive(Clone, Debug)]
+pub enum CellStatus {
+    /// All invariants held.
+    Passed(CellStats),
+    /// An invariant was violated (the failure holds the reproduction tuple).
+    Failed(Box<ScenarioFailure>),
+    /// The topology spec found no valid system (random families only).
+    Unbuildable,
+}
+
+/// Outcome of a whole sweep.
+#[derive(Debug, Default)]
+pub struct MatrixReport {
+    /// Every executed cell with its status, in sweep order.
+    pub cells: Vec<(Scenario, CellStatus)>,
+    /// Combinations skipped because the fault plan targets processes the
+    /// topology does not have (reported so coverage gaps stay visible).
+    pub skipped_unfit: usize,
+}
+
+impl MatrixReport {
+    /// Number of cells in which every invariant held.
+    pub fn passed(&self) -> usize {
+        self.cells.iter().filter(|(_, s)| matches!(s, CellStatus::Passed(_))).count()
+    }
+
+    /// The invariant violations, in sweep order.
+    pub fn failures(&self) -> Vec<&ScenarioFailure> {
+        self.cells
+            .iter()
+            .filter_map(|(_, s)| match s {
+                CellStatus::Failed(f) => Some(f.as_ref()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of unbuildable cells.
+    pub fn unbuildable(&self) -> usize {
+        self.cells.iter().filter(|(_, s)| matches!(s, CellStatus::Unbuildable)).count()
+    }
+
+    /// Renders a per-cell summary plus every failure's reproduction tuple.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (scenario, status) in &self.cells {
+            match status {
+                CellStatus::Passed(stats) => out.push_str(&format!(
+                    "PASS {} commits={} ordered={} msgs={} time={} time/commit={:.1}\n",
+                    scenario.cell(),
+                    stats.commits,
+                    stats.ordered,
+                    stats.sent,
+                    stats.time,
+                    stats.commit_latency
+                )),
+                CellStatus::Failed(f) => out.push_str(&format!("FAIL {}\n{f}\n", scenario.cell())),
+                CellStatus::Unbuildable => {
+                    out.push_str(&format!("SKIP {} (topology unbuildable)\n", scenario.cell()))
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{} passed, {} failed, {} unbuildable, {} unfit combinations skipped\n",
+            self.passed(),
+            self.failures().len(),
+            self.unbuildable(),
+            self.skipped_unfit
+        ));
+        out
+    }
+
+    /// Panics with every failure's reproduction tuple if any cell failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when at least one cell violated an invariant.
+    pub fn assert_all_passed(&self) {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return;
+        }
+        let mut msg = format!("{} scenario cell(s) violated invariants:\n", failures.len());
+        for f in failures {
+            msg.push_str(&format!("{f}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+/// A sweep over the cross-product of four axes plus workload knobs.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    /// Topology families to sweep.
+    pub topologies: Vec<TopologySpec>,
+    /// Fault plans to sweep.
+    pub fault_plans: Vec<FaultPlan>,
+    /// Scheduler adversaries to sweep.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Seeds per cell.
+    pub seeds: Vec<u64>,
+    /// Wave budget for every cell.
+    pub waves: u64,
+    /// Blocks injected per process.
+    pub blocks_per_process: usize,
+    /// Transactions per block.
+    pub txs_per_block: usize,
+}
+
+impl Matrix {
+    /// The curated tier-1 sub-matrix: every topology family, the five core
+    /// fault kinds (none, crash, mid-run crash, mute, Byzantine
+    /// equivocation), two scheduler families, two seeds. Small enough for
+    /// `cargo test`, wide enough that each axis is exercised against each
+    /// other at least once.
+    pub fn smoke() -> Self {
+        Matrix {
+            topologies: vec![
+                TopologySpec::UniformThreshold { n: 4, f: 1 },
+                TopologySpec::RippleUnl { n: 7, unl: 6, f: 1 },
+                TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 },
+                TopologySpec::RandomSlices { n: 8, slice: 6, f: 1, seed: 11 },
+            ],
+            fault_plans: vec![
+                FaultPlan::none(),
+                FaultPlan::crash_from_start([3]),
+                FaultPlan::none().with(1, Fault::CrashAfter(150)),
+                FaultPlan::none().with(2, Fault::Mute),
+                FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
+            ],
+            schedulers: vec![SchedulerSpec::Random, SchedulerSpec::Fifo],
+            seeds: vec![1, 2],
+            waves: 5,
+            blocks_per_process: 1,
+            txs_per_block: 2,
+        }
+    }
+
+    /// The full CI sweep: more sizes per family, all three Byzantine
+    /// attacks, combined fault kinds, a guild-destroying plan (safety-only
+    /// cells), and all five scheduler families over three seeds.
+    pub fn full() -> Self {
+        Matrix {
+            topologies: vec![
+                TopologySpec::UniformThreshold { n: 4, f: 1 },
+                TopologySpec::UniformThreshold { n: 7, f: 2 },
+                TopologySpec::UniformThreshold { n: 10, f: 3 },
+                TopologySpec::RippleUnl { n: 10, unl: 8, f: 1 },
+                TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 },
+                TopologySpec::StellarTiers { n: 12, core: 4, f_core: 1 },
+                TopologySpec::RandomSlices { n: 8, slice: 6, f: 1, seed: 11 },
+                TopologySpec::RandomSlices { n: 9, slice: 7, f: 1, seed: 23 },
+            ],
+            fault_plans: vec![
+                FaultPlan::none(),
+                FaultPlan::crash_from_start([3]),
+                FaultPlan::crash_from_start([5, 6]),
+                FaultPlan::none().with(1, Fault::CrashAfter(150)),
+                FaultPlan::none().with(2, Fault::Mute),
+                FaultPlan::none().with(1, Fault::CrashAfter(400)).with(2, Fault::Mute),
+                FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
+                FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::BogusStrongEdges)),
+                FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::ConfirmFlood)),
+                // Guild-destroying: beyond-threshold crashes — safety-only.
+                FaultPlan::crash_from_start([1, 2]),
+            ],
+            schedulers: vec![
+                SchedulerSpec::Random,
+                SchedulerSpec::Fifo,
+                SchedulerSpec::RandomLatency { min: 1, max: 25 },
+                SchedulerSpec::TargetedDelay { victims: vec![0] },
+                SchedulerSpec::Partition {
+                    groups: vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7, 8, 9, 10, 11]],
+                    heal_at: 600,
+                },
+            ],
+            seeds: vec![0, 1, 2],
+            waves: 5,
+            blocks_per_process: 1,
+            txs_per_block: 2,
+        }
+    }
+
+    /// Enumerates every fitting cell (topology-major order). Fault plans
+    /// targeting processes a topology does not have are excluded; callers
+    /// needing the skip count should use [`Matrix::run`].
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.scenarios_and_skips().0
+    }
+
+    fn scenarios_and_skips(&self) -> (Vec<Scenario>, usize) {
+        let mut cells = Vec::new();
+        let mut skipped = 0;
+        for topology in &self.topologies {
+            for plan in &self.fault_plans {
+                if plan.max_index().is_some_and(|m| m >= topology.n()) {
+                    skipped += self.schedulers.len() * self.seeds.len();
+                    continue;
+                }
+                for scheduler in &self.schedulers {
+                    for seed in &self.seeds {
+                        cells.push(
+                            Scenario::new(*topology, plan.clone(), scheduler.clone(), *seed)
+                                .waves(self.waves)
+                                .blocks_per_process(self.blocks_per_process)
+                                .txs_per_block(self.txs_per_block),
+                        );
+                    }
+                }
+            }
+        }
+        (cells, skipped)
+    }
+
+    /// Runs every cell under the standard checker suite. Cells are
+    /// independent deterministic executions, so they are spread across a
+    /// worker pool; the report lists them in sweep order regardless.
+    pub fn run(&self) -> MatrixReport {
+        let (cells, skipped_unfit) = self.scenarios_and_skips();
+        let statuses = run_cells(&cells);
+        MatrixReport { cells: cells.into_iter().zip(statuses).collect(), skipped_unfit }
+    }
+}
+
+/// Executes cells on a worker pool (one worker per available core, capped by
+/// the cell count) and returns their statuses in input order.
+fn run_cells(cells: &[Scenario]) -> Vec<CellStatus> {
+    let run_one = |scenario: &Scenario| match run_and_check_all(scenario) {
+        Ok(outcome) => CellStatus::Passed(CellStats::from_outcome(&outcome)),
+        Err(failure) if failure.check == "build" => CellStatus::Unbuildable,
+        Err(failure) => CellStatus::Failed(Box::new(failure)),
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, cells.len().max(1));
+    if workers <= 1 {
+        return cells.iter().map(run_one).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut statuses: Vec<Option<CellStatus>> = vec![None; cells.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cells.len() {
+                            return local;
+                        }
+                        local.push((i, run_one(&cells[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, status) in handle.join().expect("matrix worker panicked") {
+                statuses[i] = Some(status);
+            }
+        }
+    });
+    statuses.into_iter().map(|s| s.expect("every cell executed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_covers_the_acceptance_axes() {
+        let m = Matrix::smoke();
+        let families: std::collections::HashSet<_> =
+            m.topologies.iter().map(|t| t.family()).collect();
+        assert!(families.len() >= 3, "≥3 topology families");
+        assert!(m.fault_plans.len() >= 3, "≥3 fault plans");
+        assert!(m.schedulers.len() >= 2, "≥2 schedulers");
+        assert!(m.seeds.len() >= 2, "multiple seeds");
+    }
+
+    #[test]
+    fn unfit_plans_are_counted_not_silently_dropped() {
+        let m = Matrix {
+            topologies: vec![TopologySpec::UniformThreshold { n: 4, f: 1 }],
+            fault_plans: vec![FaultPlan::crash_from_start([9])],
+            schedulers: vec![SchedulerSpec::Fifo],
+            seeds: vec![1, 2],
+            waves: 3,
+            blocks_per_process: 1,
+            txs_per_block: 1,
+        };
+        let (cells, skipped) = m.scenarios_and_skips();
+        assert!(cells.is_empty());
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn tiny_matrix_runs_and_reports() {
+        let m = Matrix {
+            topologies: vec![TopologySpec::UniformThreshold { n: 4, f: 1 }],
+            fault_plans: vec![FaultPlan::none(), FaultPlan::crash_from_start([3])],
+            schedulers: vec![SchedulerSpec::Fifo],
+            seeds: vec![1],
+            waves: 4,
+            blocks_per_process: 1,
+            txs_per_block: 1,
+        };
+        let report = m.run();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.passed(), 2, "{}", report.render());
+        report.assert_all_passed();
+        assert!(report.render().contains("PASS"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The scenario runner: descriptor in, fully-observed execution out.
+
+use asym_core::{AsymDagRider, Block, OrderedVertex, RiderConfig, RiderMetrics, WaveCommitter};
+use asym_dag::{DagStore, VertexId, WaveId};
+use asym_quorum::topology::{Topology, TopologySpec};
+use asym_quorum::{maximal_guild, ProcessId, ProcessSet};
+use asym_sim::{NetStats, Simulation};
+
+use crate::byzantine::{ByzProcess, Party};
+use crate::pid;
+use crate::spec::{Fault, Scenario};
+
+/// Why a scenario could not be executed (as opposed to failing a check).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The topology spec found no valid system (random families only).
+    TopologyUnavailable(TopologySpec),
+    /// A fault was assigned to a process outside `0..n`.
+    FaultIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// System size.
+        n: usize,
+    },
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScenarioError::TopologyUnavailable(spec) => {
+                write!(f, "no valid topology for {spec} within the attempt budget")
+            }
+            ScenarioError::FaultIndexOutOfRange { index, n } => {
+                write!(f, "fault assigned to p{index} but the topology has n={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Everything one execution observably produced — the input to every
+/// invariant checker.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The descriptor that produced this outcome.
+    pub scenario: Scenario,
+    /// The built topology.
+    pub topology: Topology,
+    /// `true` if the run ended in quiescence (vs. budget exhaustion).
+    pub quiescent: bool,
+    /// Delivery steps executed.
+    pub steps: u64,
+    /// Final simulated clock.
+    pub time: u64,
+    /// Network counters.
+    pub net: NetStats,
+    /// Atomic-broadcast outputs per process, in delivery order.
+    pub outputs: Vec<Vec<OrderedVertex>>,
+    /// Per-process commit logs (`(wave, leader)` pairs; empty for Byzantine).
+    pub commit_logs: Vec<Vec<(WaveId, VertexId)>>,
+    /// Wave-commitment state snapshots — decided wave, delivered-vertex set,
+    /// log — audited by the `delivery_bookkeeping` checker (`None` for
+    /// Byzantine processes).
+    pub committers: Vec<Option<WaveCommitter>>,
+    /// Local DAG snapshots (`None` for Byzantine processes).
+    pub dags: Vec<Option<DagStore<Block>>>,
+    /// Protocol counters (default for Byzantine processes).
+    pub metrics: Vec<RiderMetrics>,
+    /// Blocks injected per process, in injection order.
+    pub injected: Vec<Vec<Block>>,
+    /// Processes running the honest protocol (everyone but Byzantine —
+    /// includes crash/mute processes, whose local state is still honest).
+    pub honest: ProcessSet,
+    /// Processes with no fault at all.
+    pub correct: ProcessSet,
+    /// The maximal guild of the fault plan's faulty set, if any.
+    pub guild: Option<ProcessSet>,
+}
+
+impl ScenarioOutcome {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Transactions delivered by a process, in order.
+    pub fn delivered_txs(&self, p: ProcessId) -> Vec<u64> {
+        self.outputs[p.index()].iter().flat_map(|o| o.block.txs.clone()).collect()
+    }
+
+    /// The longest commit log across honest processes.
+    pub fn max_commits(&self) -> usize {
+        self.honest.iter().map(|p| self.commit_logs[p.index()].len()).max().unwrap_or(0)
+    }
+}
+
+impl Scenario {
+    /// Executes the scenario. Deterministic: equal scenarios yield equal
+    /// outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::TopologyUnavailable`] if a random topology family
+    /// finds no valid system; [`ScenarioError::FaultIndexOutOfRange`] if the
+    /// fault plan targets a process the topology does not have.
+    pub fn try_run(&self) -> Result<ScenarioOutcome, ScenarioError> {
+        let topology =
+            self.topology.build().ok_or(ScenarioError::TopologyUnavailable(self.topology))?;
+        let n = topology.n();
+        if let Some(max) = self.faults.max_index() {
+            if max >= n {
+                return Err(ScenarioError::FaultIndexOutOfRange { index: max, n });
+            }
+        }
+
+        let config = RiderConfig { max_waves: self.waves, ..Default::default() };
+        let byz: Vec<Option<crate::ByzAttack>> = (0..n)
+            .map(|i| self.faults.byzantine().find(|(b, _)| *b == i).map(|(_, a)| a))
+            .collect();
+        let procs: Vec<Party> = (0..n)
+            .map(|i| match byz[i] {
+                Some(attack) => Party::Byzantine(ByzProcess::new(pid(i), n, attack)),
+                None => Party::Honest(AsymDagRider::new(
+                    pid(i),
+                    topology.quorums.clone(),
+                    self.coin_seed(),
+                    config,
+                )),
+            })
+            .collect();
+
+        let mut sim = Simulation::new(procs, self.scheduler.adversary(self.seed).build())
+            .with_faults(
+                self.faults.assignments().iter().map(|(i, f)| (pid(*i), f.network_mode())),
+            );
+
+        // Globally unique transaction ids: block b of process i carries
+        // txs (b·n + i)·txs_per_block + 1 ..= +txs_per_block.
+        let mut injected: Vec<Vec<Block>> = vec![Vec::new(); n];
+        for b in 0..self.blocks_per_process {
+            for i in 0..n {
+                let skip = byz[i].is_some()
+                    || matches!(
+                        self.faults.assignments().iter().find(|(p, _)| *p == i),
+                        Some((_, Fault::Crash))
+                    );
+                if skip {
+                    continue;
+                }
+                let base = ((b * n + i) * self.txs_per_block) as u64;
+                let block = Block::new((1..=self.txs_per_block as u64).map(|t| base + t).collect());
+                injected[i].push(block.clone());
+                sim.input(pid(i), block);
+            }
+        }
+
+        let report = sim.run(self.max_steps);
+
+        let outputs: Vec<Vec<OrderedVertex>> =
+            (0..n).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+        let mut commit_logs = Vec::with_capacity(n);
+        let mut committers = Vec::with_capacity(n);
+        let mut dags = Vec::with_capacity(n);
+        let mut metrics = Vec::with_capacity(n);
+        for i in 0..n {
+            match sim.process(pid(i)).as_honest() {
+                Some(r) => {
+                    commit_logs.push(r.commit_log().to_vec());
+                    committers.push(Some(r.committer().clone()));
+                    dags.push(Some(r.dag().clone()));
+                    metrics.push(r.metrics());
+                }
+                None => {
+                    commit_logs.push(Vec::new());
+                    committers.push(None);
+                    dags.push(None);
+                    metrics.push(RiderMetrics::default());
+                }
+            }
+        }
+
+        let faulty = self.faults.faulty_set();
+        let honest: ProcessSet = (0..n).filter(|i| byz[*i].is_none()).collect();
+        Ok(ScenarioOutcome {
+            scenario: self.clone(),
+            quiescent: report.quiescent,
+            steps: report.steps,
+            time: sim.now(),
+            net: sim.stats(),
+            outputs,
+            commit_logs,
+            committers,
+            dags,
+            metrics,
+            injected,
+            honest,
+            correct: faulty.complement(n),
+            guild: maximal_guild(&topology.fail_prone, &topology.quorums, &faulty),
+            topology,
+        })
+    }
+
+    /// Executes the scenario, panicking with the reproduction tuple if it
+    /// cannot be built.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ScenarioError`] (unbuildable topology / bad fault index).
+    pub fn run(&self) -> ScenarioOutcome {
+        self.try_run().unwrap_or_else(|e| panic!("scenario {self} failed to build: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultPlan, SchedulerSpec};
+    use crate::ByzAttack;
+
+    fn base() -> Scenario {
+        Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none(),
+            SchedulerSpec::Random,
+            3,
+        )
+        .waves(4)
+    }
+
+    #[test]
+    fn fault_free_run_commits_everywhere() {
+        let out = base().run();
+        assert!(out.quiescent);
+        assert_eq!(out.n(), 4);
+        assert_eq!(out.correct, ProcessSet::full(4));
+        assert_eq!(out.guild, Some(ProcessSet::full(4)));
+        for p in &out.correct {
+            assert!(!out.outputs[p.index()].is_empty(), "{p} ordered nothing");
+            assert!(!out.commit_logs[p.index()].is_empty());
+            assert!(out.dags[p.index()].is_some());
+        }
+        // The injected workload is recorded with globally unique tx ids.
+        let all: Vec<u64> = out.injected.iter().flatten().flat_map(|b| b.txs.clone()).collect();
+        let unique: std::collections::HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(all.len(), unique.len());
+    }
+
+    #[test]
+    fn equal_scenarios_equal_outcomes() {
+        let a = base().run();
+        let b = base().run();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.commit_logs, b.commit_logs);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn byzantine_processes_have_no_dag_snapshot() {
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none().with(3, crate::Fault::Byzantine(ByzAttack::ConfirmFlood)),
+            SchedulerSpec::Random,
+            1,
+        )
+        .waves(4);
+        let out = s.run();
+        assert!(out.dags[3].is_none());
+        assert_eq!(out.honest, ProcessSet::from_indices([0, 1, 2]));
+        assert_eq!(out.correct, ProcessSet::from_indices([0, 1, 2]));
+        assert!(out.injected[3].is_empty(), "attackers inject no workload");
+    }
+
+    #[test]
+    fn out_of_range_fault_is_reported() {
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::crash_from_start([7]),
+            SchedulerSpec::Fifo,
+            1,
+        );
+        assert_eq!(
+            s.try_run().unwrap_err(),
+            ScenarioError::FaultIndexOutOfRange { index: 7, n: 4 }
+        );
+    }
+
+    #[test]
+    fn unbuildable_random_topology_is_reported() {
+        // Slices of size 2 with f=1 can never satisfy B3 for n ≥ 3.
+        let spec = TopologySpec::RandomSlices { n: 6, slice: 2, f: 1, seed: 7 };
+        let s = Scenario::new(spec, FaultPlan::none(), SchedulerSpec::Fifo, 1);
+        assert_eq!(s.try_run().unwrap_err(), ScenarioError::TopologyUnavailable(spec));
+    }
+}

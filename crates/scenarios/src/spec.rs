@@ -1,0 +1,464 @@
+//! The scenario descriptor: plain data identifying one execution exactly.
+//!
+//! A [`Scenario`] is the unit the matrix sweeps over and the tuple a failure
+//! report prints. Everything in it is `Clone + PartialEq + Debug` data —
+//! no closures, no trait objects — so two equal descriptors always produce
+//! bit-for-bit identical executions.
+
+use asym_quorum::topology::TopologySpec;
+use asym_quorum::ProcessSet;
+use asym_sim::{Adversary, FaultMode};
+
+use crate::byzantine::ByzAttack;
+
+/// One process's assigned misbehaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Never starts: sends nothing, receives nothing.
+    Crash,
+    /// Behaves correctly until it has processed `k` deliveries, then dies.
+    CrashAfter(u64),
+    /// Receives everything but all its sends vanish (send-omission).
+    Mute,
+    /// Runs a protocol-level attack instead of the honest state machine.
+    Byzantine(ByzAttack),
+}
+
+impl Fault {
+    /// The network-layer fault mode realizing this fault. Byzantine
+    /// deviation is protocol-level, so its network mode is `Correct`.
+    pub fn network_mode(&self) -> FaultMode {
+        match self {
+            Fault::Crash => FaultMode::CrashedFromStart,
+            Fault::CrashAfter(k) => FaultMode::CrashAfter(*k),
+            Fault::Mute => FaultMode::Mute,
+            Fault::Byzantine(_) => FaultMode::Correct,
+        }
+    }
+}
+
+impl core::fmt::Display for Fault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Fault::Crash => write!(f, "crash"),
+            Fault::CrashAfter(k) => write!(f, "crash-after-{k}"),
+            Fault::Mute => write!(f, "mute"),
+            Fault::Byzantine(a) => write!(f, "byz-{a}"),
+        }
+    }
+}
+
+/// A named assignment of faults to process indices.
+///
+/// Plans are data; the runner lowers crash/omission faults to the network
+/// layer ([`FaultMode`]) and Byzantine assignments to [`crate::Party`]
+/// protocol instances.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    assignments: Vec<(usize, Fault)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit `(process index, fault)` assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is assigned twice.
+    pub fn new<I: IntoIterator<Item = (usize, Fault)>>(assignments: I) -> Self {
+        let mut assignments: Vec<(usize, Fault)> = assignments.into_iter().collect();
+        assignments.sort_by_key(|(i, _)| *i);
+        for w in assignments.windows(2) {
+            assert!(w[0].0 != w[1].0, "process {} assigned two faults", w[0].0);
+        }
+        FaultPlan { assignments }
+    }
+
+    /// Crashes the given processes from the start.
+    pub fn crash_from_start<I: IntoIterator<Item = usize>>(ids: I) -> Self {
+        FaultPlan::new(ids.into_iter().map(|i| (i, Fault::Crash)))
+    }
+
+    /// Adds one more assignment (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index already has a fault.
+    pub fn with(self, index: usize, fault: Fault) -> Self {
+        let mut assignments = self.assignments;
+        assignments.push((index, fault));
+        FaultPlan::new(assignments)
+    }
+
+    /// The `(index, fault)` assignments, sorted by index.
+    pub fn assignments(&self) -> &[(usize, Fault)] {
+        &self.assignments
+    }
+
+    /// Every process with any fault assigned — the set guild computations
+    /// take as "faulty" (a process that ever deviates or dies is faulty).
+    pub fn faulty_set(&self) -> ProcessSet {
+        self.assignments.iter().map(|(i, _)| *i).collect()
+    }
+
+    /// The Byzantine assignments only.
+    pub fn byzantine(&self) -> impl Iterator<Item = (usize, ByzAttack)> + '_ {
+        self.assignments.iter().filter_map(|(i, f)| match f {
+            Fault::Byzantine(a) => Some((*i, *a)),
+            _ => None,
+        })
+    }
+
+    /// Largest assigned index (`None` for the fault-free plan). The matrix
+    /// uses it to skip plans that do not fit a topology.
+    pub fn max_index(&self) -> Option<usize> {
+        self.assignments.last().map(|(i, _)| *i)
+    }
+}
+
+impl core::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.assignments.is_empty() {
+            return write!(f, "fault-free");
+        }
+        for (k, (i, fault)) in self.assignments.iter().enumerate() {
+            if k > 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{fault}(p{i})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A delivery-adversary family; the scenario seed supplies its randomness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedulerSpec {
+    /// Send-order delivery.
+    Fifo,
+    /// Seeded uniformly random delivery order.
+    Random,
+    /// Per-message random latency in `min..=max` simulated time units.
+    RandomLatency {
+        /// Minimum per-message latency.
+        min: u64,
+        /// Maximum per-message latency.
+        max: u64,
+    },
+    /// Messages to/from the victims are starved as long as possible.
+    TargetedDelay {
+        /// Victim process indices.
+        victims: Vec<usize>,
+    },
+    /// Cross-group messages blocked until `heal_at` delivery steps.
+    Partition {
+        /// The isolated groups (process indices).
+        groups: Vec<Vec<usize>>,
+        /// Step at which the partition heals.
+        heal_at: u64,
+    },
+}
+
+impl SchedulerSpec {
+    /// Instantiates the described adversary with the scenario seed.
+    pub fn adversary(&self, seed: u64) -> Adversary {
+        match self {
+            SchedulerSpec::Fifo => Adversary::Fifo,
+            SchedulerSpec::Random => Adversary::Random(seed),
+            SchedulerSpec::RandomLatency { min, max } => {
+                Adversary::Latency { seed, min: *min, max: *max }
+            }
+            SchedulerSpec::TargetedDelay { victims } => {
+                Adversary::TargetedDelay(victims.iter().copied().collect())
+            }
+            SchedulerSpec::Partition { groups, heal_at } => Adversary::Partition {
+                groups: groups.iter().map(|g| g.iter().copied().collect()).collect(),
+                heal_at: *heal_at,
+            },
+        }
+    }
+
+    /// Stable family name for sweep tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerSpec::Fifo => "fifo",
+            SchedulerSpec::Random => "random",
+            SchedulerSpec::RandomLatency { .. } => "latency",
+            SchedulerSpec::TargetedDelay { .. } => "targeted-delay",
+            SchedulerSpec::Partition { .. } => "partition",
+        }
+    }
+}
+
+impl core::fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SchedulerSpec::Fifo => write!(f, "fifo"),
+            SchedulerSpec::Random => write!(f, "random"),
+            SchedulerSpec::RandomLatency { min, max } => write!(f, "latency({min}..={max})"),
+            SchedulerSpec::TargetedDelay { victims } => {
+                write!(f, "targeted-delay({victims:?})")
+            }
+            SchedulerSpec::Partition { groups, heal_at } => {
+                write!(f, "partition({groups:?},heal={heal_at})")
+            }
+        }
+    }
+}
+
+/// One fully-specified execution: the matrix cell and the reproduction
+/// tuple. Equal scenarios run to identical outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// The trust-topology family and its parameters.
+    pub topology: TopologySpec,
+    /// Who misbehaves, and how.
+    pub faults: FaultPlan,
+    /// The delivery adversary family.
+    pub scheduler: SchedulerSpec,
+    /// Seed feeding the scheduler (and, decorrelated, the common coin).
+    pub seed: u64,
+    /// Wave budget per process.
+    pub waves: u64,
+    /// Blocks each non-crashed, non-Byzantine process injects.
+    pub blocks_per_process: usize,
+    /// Transactions per injected block.
+    pub txs_per_block: usize,
+    /// Delivery-step budget.
+    pub max_steps: u64,
+}
+
+impl Scenario {
+    /// A scenario with the default workload (6 waves, 1 block of 2 txs per
+    /// process, 500M-step budget).
+    pub fn new(
+        topology: TopologySpec,
+        faults: FaultPlan,
+        scheduler: SchedulerSpec,
+        seed: u64,
+    ) -> Self {
+        Scenario {
+            topology,
+            faults,
+            scheduler,
+            seed,
+            waves: 6,
+            blocks_per_process: 1,
+            txs_per_block: 2,
+            max_steps: 500_000_000,
+        }
+    }
+
+    /// Overrides the wave budget (builder-style).
+    pub fn waves(mut self, waves: u64) -> Self {
+        self.waves = waves;
+        self
+    }
+
+    /// Overrides the blocks injected per process (builder-style).
+    pub fn blocks_per_process(mut self, blocks: usize) -> Self {
+        self.blocks_per_process = blocks;
+        self
+    }
+
+    /// Overrides the transactions per block (builder-style).
+    pub fn txs_per_block(mut self, txs: usize) -> Self {
+        self.txs_per_block = txs;
+        self
+    }
+
+    /// Overrides the delivery-step budget (builder-style).
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// The shared coin seed: derived from the scenario seed but decorrelated
+    /// from the scheduler's RNG stream.
+    pub fn coin_seed(&self) -> u64 {
+        self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_C01D
+    }
+
+    /// The human-readable `(topology, fault plan, scheduler, seed)` cell
+    /// label printed by sweep tables and failure reports.
+    pub fn cell(&self) -> String {
+        format!(
+            "(topology={}, faults={}, scheduler={}, seed={})",
+            self.topology, self.faults, self.scheduler, self.seed
+        )
+    }
+
+    /// A copy-pasteable reproduction of this scenario: a constructor
+    /// expression that compiles verbatim under
+    /// `use asym_scenarios::{ByzAttack, Fault, FaultPlan, Scenario, SchedulerSpec, TopologySpec};`
+    /// and rebuilds an equal `Scenario`.
+    pub fn repro(&self) -> String {
+        let faults = if self.faults.assignments().is_empty() {
+            "FaultPlan::none()".to_string()
+        } else {
+            let items: Vec<String> = self
+                .faults
+                .assignments()
+                .iter()
+                .map(|(i, f)| {
+                    let fault = match f {
+                        Fault::Crash => "Fault::Crash".to_string(),
+                        Fault::CrashAfter(k) => format!("Fault::CrashAfter({k})"),
+                        Fault::Mute => "Fault::Mute".to_string(),
+                        Fault::Byzantine(a) => format!("Fault::Byzantine(ByzAttack::{a:?})"),
+                    };
+                    format!("({i}, {fault})")
+                })
+                .collect();
+            format!("FaultPlan::new([{}])", items.join(", "))
+        };
+        let scheduler = match &self.scheduler {
+            SchedulerSpec::Fifo => "SchedulerSpec::Fifo".to_string(),
+            SchedulerSpec::Random => "SchedulerSpec::Random".to_string(),
+            SchedulerSpec::RandomLatency { min, max } => {
+                format!("SchedulerSpec::RandomLatency {{ min: {min}, max: {max} }}")
+            }
+            SchedulerSpec::TargetedDelay { victims } => {
+                format!("SchedulerSpec::TargetedDelay {{ victims: vec!{victims:?} }}")
+            }
+            SchedulerSpec::Partition { groups, heal_at } => {
+                let groups: Vec<String> = groups.iter().map(|g| format!("vec!{g:?}")).collect();
+                format!(
+                    "SchedulerSpec::Partition {{ groups: vec![{}], heal_at: {heal_at} }}",
+                    groups.join(", ")
+                )
+            }
+        };
+        format!(
+            "Scenario::new(TopologySpec::{:?}, {faults}, {scheduler}, {}).waves({})\
+             .blocks_per_process({}).txs_per_block({}).max_steps({})",
+            self.topology,
+            self.seed,
+            self.waves,
+            self.blocks_per_process,
+            self.txs_per_block,
+            self.max_steps
+        )
+    }
+}
+
+impl core::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.cell())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_sorts_and_reports() {
+        let plan = FaultPlan::new([(3, Fault::Mute), (1, Fault::Crash)]);
+        assert_eq!(plan.assignments()[0], (1, Fault::Crash));
+        assert_eq!(plan.max_index(), Some(3));
+        assert_eq!(plan.faulty_set(), ProcessSet::from_indices([1, 3]));
+        assert_eq!(plan.to_string(), "crash(p1)+mute(p3)");
+        assert_eq!(FaultPlan::none().to_string(), "fault-free");
+    }
+
+    #[test]
+    #[should_panic(expected = "two faults")]
+    fn duplicate_assignment_rejected() {
+        FaultPlan::new([(1, Fault::Crash), (1, Fault::Mute)]);
+    }
+
+    #[test]
+    fn byzantine_assignments_are_network_correct() {
+        let plan = FaultPlan::none().with(2, Fault::Byzantine(ByzAttack::EquivocateVertices));
+        assert_eq!(plan.assignments()[0].1.network_mode(), FaultMode::Correct);
+        assert_eq!(plan.byzantine().count(), 1);
+        assert_eq!(plan.faulty_set(), ProcessSet::from_indices([2]));
+    }
+
+    #[test]
+    fn scheduler_spec_builds_seeded_adversary() {
+        assert_eq!(SchedulerSpec::Random.adversary(9), Adversary::Random(9));
+        assert_eq!(
+            SchedulerSpec::RandomLatency { min: 1, max: 5 }.adversary(3),
+            Adversary::Latency { seed: 3, min: 1, max: 5 }
+        );
+        assert_eq!(SchedulerSpec::Fifo.adversary(9), Adversary::Fifo);
+    }
+
+    #[test]
+    fn cell_names_every_axis() {
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::crash_from_start([3]),
+            SchedulerSpec::Random,
+            42,
+        );
+        let cell = s.cell();
+        for needle in ["threshold(n=4,f=1)", "crash(p3)", "random", "seed=42"] {
+            assert!(cell.contains(needle), "{cell} missing {needle}");
+        }
+        assert!(s.repro().contains("UniformThreshold"));
+    }
+
+    #[test]
+    fn repro_string_is_a_compiling_constructor_expression() {
+        let scenario = Scenario::new(
+            TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 },
+            FaultPlan::new([(2, Fault::Mute), (5, Fault::Byzantine(ByzAttack::ConfirmFlood))]),
+            SchedulerSpec::TargetedDelay { victims: vec![0, 1] },
+            13,
+        )
+        .waves(5);
+        // The exact expression repro() prints, compiled — if repro() drifts
+        // from constructible syntax, the strings below stop matching.
+        let rebuilt = Scenario::new(
+            TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 },
+            FaultPlan::new([(2, Fault::Mute), (5, Fault::Byzantine(ByzAttack::ConfirmFlood))]),
+            SchedulerSpec::TargetedDelay { victims: vec![0, 1] },
+            13,
+        )
+        .waves(5)
+        .blocks_per_process(1)
+        .txs_per_block(2)
+        .max_steps(500000000);
+        assert_eq!(rebuilt, scenario);
+        assert_eq!(
+            scenario.repro(),
+            "Scenario::new(TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 }, \
+             FaultPlan::new([(2, Fault::Mute), (5, Fault::Byzantine(ByzAttack::ConfirmFlood))]), \
+             SchedulerSpec::TargetedDelay { victims: vec![0, 1] }, 13).waves(5)\
+             .blocks_per_process(1).txs_per_block(2).max_steps(500000000)"
+        );
+        assert_eq!(
+            Scenario::new(
+                TopologySpec::UniformThreshold { n: 4, f: 1 },
+                FaultPlan::none(),
+                SchedulerSpec::Random,
+                7,
+            )
+            .repro(),
+            "Scenario::new(TopologySpec::UniformThreshold { n: 4, f: 1 }, FaultPlan::none(), \
+             SchedulerSpec::Random, 7).waves(6).blocks_per_process(1).txs_per_block(2)\
+             .max_steps(500000000)"
+        );
+    }
+
+    #[test]
+    fn coin_seed_decorrelates_neighbouring_seeds() {
+        let mk = |seed| {
+            Scenario::new(
+                TopologySpec::UniformThreshold { n: 4, f: 1 },
+                FaultPlan::none(),
+                SchedulerSpec::Random,
+                seed,
+            )
+        };
+        assert_ne!(mk(1).coin_seed(), mk(2).coin_seed());
+        assert_ne!(mk(1).coin_seed(), 1, "coin stream must differ from scheduler stream");
+    }
+}

@@ -15,7 +15,9 @@
 //!   and arbitrary predicate-filtered starvation (used to realize the paper's
 //!   Appendix-A schedule);
 //! * [`FaultMode`] — crash/omission fault injection at the network layer
-//!   (Byzantine *behaviour* is modelled inside protocol types themselves).
+//!   (Byzantine *behaviour* is modelled inside protocol types themselves);
+//! * [`Adversary`] — declarative scheduler descriptions that sweep harnesses
+//!   enumerate, print in failure reports, and rebuild deterministically.
 //!
 //! Executions are deterministic given seeds, so every test — including the
 //! adversarial ones — replays bit-for-bit.
@@ -52,11 +54,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod network;
 mod process;
 pub mod scheduler;
 pub mod threaded;
 
+pub use adversary::Adversary;
 pub use network::{FaultMode, NetStats, RunReport, Simulation};
 pub use process::{Context, Dest, Harness, Protocol, Step};
 pub use scheduler::{InFlight, Scheduler};

@@ -130,6 +130,20 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
         self
     }
 
+    /// Applies a whole fault plan — `(process, mode)` assignments — at once
+    /// (builder-style). The form sweep harnesses use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started.
+    pub fn with_faults<I: IntoIterator<Item = (ProcessId, FaultMode)>>(mut self, plan: I) -> Self {
+        assert!(!self.started, "fault plan must be fixed before the run starts");
+        for (p, mode) in plan {
+            self.faults[p.index()] = mode;
+        }
+        self
+    }
+
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.nodes.len()
@@ -174,6 +188,13 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
     /// Number of messages currently in flight.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// `(from, to)` endpoints of every message still in flight, in no
+    /// particular order — the observable behind starvation checks ("did the
+    /// adversary leave correct-to-correct traffic undelivered?").
+    pub fn pending_endpoints(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.pending.iter().map(|m| (m.from, m.to))
     }
 
     fn is_silent(&self, i: usize) -> bool {

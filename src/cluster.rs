@@ -7,53 +7,9 @@
 
 use asym_core::{AsymDagRider, Block, DagRider, OrderedVertex, RiderConfig, RiderMetrics};
 use asym_quorum::{maximal_guild, topology::Topology, ProcessId, ProcessSet};
-use asym_sim::{scheduler, FaultMode, NetStats, Protocol, Scheduler, Simulation};
+use asym_sim::{FaultMode, NetStats, Protocol, Simulation};
 
-/// Which adversary schedules message delivery.
-#[derive(Clone, Debug)]
-pub enum Adversary {
-    /// Send-order delivery.
-    Fifo,
-    /// Seeded uniformly random delivery order.
-    Random(u64),
-    /// Per-message random latency in `min..=max` simulated time units
-    /// (measure latency with this one).
-    Latency {
-        /// RNG seed.
-        seed: u64,
-        /// Minimum per-message latency.
-        min: u64,
-        /// Maximum per-message latency.
-        max: u64,
-    },
-    /// Messages to/from the victims are starved as long as possible.
-    TargetedDelay(ProcessSet),
-    /// Cross-group messages are blocked until `heal_at` (delivery steps).
-    Partition {
-        /// The isolated groups.
-        groups: Vec<ProcessSet>,
-        /// Step at which the partition heals.
-        heal_at: u64,
-    },
-}
-
-impl Adversary {
-    fn build<M: Clone + core::fmt::Debug + 'static>(&self) -> Box<dyn Scheduler<M>> {
-        match self {
-            Adversary::Fifo => Box::new(scheduler::Fifo),
-            Adversary::Random(seed) => Box::new(scheduler::Random::new(*seed)),
-            Adversary::Latency { seed, min, max } => {
-                Box::new(scheduler::RandomLatency::new(*seed, *min, *max))
-            }
-            Adversary::TargetedDelay(victims) => {
-                Box::new(scheduler::TargetedDelay::new(victims.clone()))
-            }
-            Adversary::Partition { groups, heal_at } => {
-                Box::new(scheduler::Partition::new(groups.clone(), *heal_at))
-            }
-        }
-    }
-}
+pub use asym_sim::Adversary;
 
 /// Everything a finished cluster run reports.
 #[derive(Clone, Debug)]

@@ -1,74 +1,54 @@
 //! Integration matrix: asymmetric atomic broadcast properties
 //! (Definition 4.1 — agreement, validity, total order, integrity) across
 //! topologies × adversaries × failure patterns.
+//!
+//! Cells over the named topology families run as `asym_scenarios` cells
+//! under the full checker suite (which subsumes the agreement / total-order
+//! / integrity assertions this file used to hand-roll). Custom topologies
+//! (Figure 1, mixed thresholds) keep the `Cluster` harness and borrow the
+//! shared `assert_prefix_consistent` checker.
 
 use asym_dag_rider::prelude::*;
+use asym_scenarios::{checks, Fault, FaultPlan, Scenario, SchedulerSpec, TopologySpec};
 
-/// Runs one configuration and checks every Definition-4.1 property that is
-/// decidable on a bounded execution.
-fn check(topo: topology::Topology, adversary: Adversary, crashed: &[usize], waves: u64) {
-    let name = topo.name.clone();
-    let report = Cluster::new(topo)
-        .adversary(adversary)
-        .crash(crashed.iter().copied())
-        .waves(waves)
-        .blocks_per_process(2)
-        .txs_per_block(3)
-        .run_asymmetric();
-    assert!(report.quiescent, "{name}: execution must quiesce");
-    let guild = report.guild.clone().unwrap_or_else(|| panic!("{name}: no guild"));
-
-    // Total order among guild members.
-    report.assert_total_order(&guild);
-
-    // Progress: every guild member commits something.
-    for g in &guild {
-        assert!(!report.outputs[g.index()].is_empty(), "{name}: guild member {g} ordered nothing");
-    }
-
-    // Integrity: no duplicates within any process's output.
-    for (i, out) in report.outputs.iter().enumerate() {
-        let mut seen = std::collections::HashSet::new();
-        for o in out {
-            assert!(seen.insert(o.id), "{name}: p{i} delivered {} twice", o.id);
-        }
-    }
-
-    // Agreement (bounded form): a vertex delivered by one guild member and
-    // lying within another's output length must appear there too — implied
-    // by prefix consistency, checked directly for belt and braces.
-    let mut best: Option<(usize, usize)> = None;
-    for g in &guild {
-        let len = report.outputs[g.index()].len();
-        if best.is_none_or(|(_, l)| len > l) {
-            best = Some((g.index(), len));
-        }
-    }
-    let (best_idx, _) = best.unwrap();
-    for g in &guild {
-        let out = &report.outputs[g.index()];
-        for (k, o) in out.iter().enumerate() {
-            assert_eq!(o.id, report.outputs[best_idx][k].id, "{name}: agreement violated at {k}");
-        }
-    }
+/// Runs one scenario cell under every Definition-4.1 checker.
+fn check(
+    topology: TopologySpec,
+    scheduler: SchedulerSpec,
+    crashed: &[usize],
+    seed: u64,
+    waves: u64,
+) {
+    let scenario = Scenario::new(
+        topology,
+        FaultPlan::crash_from_start(crashed.iter().copied()),
+        scheduler,
+        seed,
+    )
+    .waves(waves)
+    .blocks_per_process(2)
+    .txs_per_block(3);
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
+    assert!(outcome.guild.is_some(), "{scenario}: these cells must keep a guild");
 }
 
 #[test]
 fn threshold_4_random() {
-    check(topology::uniform_threshold(4, 1), Adversary::Random(1), &[], 6);
+    check(TopologySpec::UniformThreshold { n: 4, f: 1 }, SchedulerSpec::Random, &[], 1, 6);
 }
 
 #[test]
 fn threshold_4_fifo_with_crash() {
-    check(topology::uniform_threshold(4, 1), Adversary::Fifo, &[2], 8);
+    check(TopologySpec::UniformThreshold { n: 4, f: 1 }, SchedulerSpec::Fifo, &[2], 1, 8);
 }
 
 #[test]
 fn threshold_7_latency_two_crashes() {
     check(
-        topology::uniform_threshold(7, 2),
-        Adversary::Latency { seed: 9, min: 1, max: 40 },
+        TopologySpec::UniformThreshold { n: 7, f: 2 },
+        SchedulerSpec::RandomLatency { min: 1, max: 40 },
         &[0, 1],
+        9,
         8,
     );
 }
@@ -76,59 +56,99 @@ fn threshold_7_latency_two_crashes() {
 #[test]
 fn threshold_10_targeted_delay() {
     check(
-        topology::uniform_threshold(10, 3),
-        Adversary::TargetedDelay(ProcessSet::from_indices([7, 8, 9])),
+        TopologySpec::UniformThreshold { n: 10, f: 3 },
+        SchedulerSpec::TargetedDelay { victims: vec![7, 8, 9] },
         &[],
+        1,
         5,
     );
 }
 
 #[test]
 fn ripple_unl_random() {
-    check(topology::ripple_unl(10, 8, 1), Adversary::Random(4), &[], 6);
+    check(TopologySpec::RippleUnl { n: 10, unl: 8, f: 1 }, SchedulerSpec::Random, &[], 4, 6);
 }
 
 #[test]
 fn ripple_unl_crash_and_latency() {
-    check(topology::ripple_unl(10, 8, 1), Adversary::Latency { seed: 2, min: 5, max: 25 }, &[3], 8);
+    check(
+        TopologySpec::RippleUnl { n: 10, unl: 8, f: 1 },
+        SchedulerSpec::RandomLatency { min: 5, max: 25 },
+        &[3],
+        2,
+        8,
+    );
 }
 
 #[test]
 fn stellar_tiers_leaf_and_core_crash() {
-    check(topology::stellar_tiers(10, 4, 1), Adversary::Random(6), &[2, 9], 8);
-}
-
-#[test]
-fn figure1_counterexample_topology() {
-    let topo = topology::Topology {
-        name: "figure-1".into(),
-        fail_prone: asym_dag_rider::quorum::counterexample::fig1_fail_prone(),
-        quorums: asym_dag_rider::quorum::counterexample::fig1_quorums(),
-    };
-    check(topo, Adversary::Random(8), &[], 5);
+    check(
+        TopologySpec::StellarTiers { n: 10, core: 4, f_core: 1 },
+        SchedulerSpec::Random,
+        &[2, 9],
+        6,
+        8,
+    );
 }
 
 #[test]
 fn random_slice_topology() {
-    let topo = asym_dag_rider::quorum::topology::random_slices(8, 6, 1, 11, 200)
-        .expect("a B3 random topology exists for these parameters");
-    check(topo, Adversary::Random(12), &[], 6);
+    check(
+        TopologySpec::RandomSlices { n: 8, slice: 6, f: 1, seed: 11 },
+        SchedulerSpec::Random,
+        &[],
+        12,
+        6,
+    );
 }
 
 #[test]
 fn partition_then_heal_commits_everything() {
     check(
-        topology::uniform_threshold(7, 2),
-        Adversary::Partition {
-            groups: vec![
-                ProcessSet::from_indices([0, 1, 2, 3]),
-                ProcessSet::from_indices([4, 5, 6]),
-            ],
-            heal_at: 1_000,
-        },
+        TopologySpec::UniformThreshold { n: 7, f: 2 },
+        SchedulerSpec::Partition { groups: vec![vec![0, 1, 2, 3], vec![4, 5, 6]], heal_at: 1_000 },
         &[],
+        1,
         6,
     );
+}
+
+#[test]
+fn mute_and_mid_run_crash_under_latency() {
+    // A cell the old hand-rolled harness could not express: omission +
+    // mid-run crash faults under a latency adversary, still fully checked.
+    let scenario = Scenario::new(
+        TopologySpec::UniformThreshold { n: 7, f: 2 },
+        FaultPlan::none().with(5, Fault::Mute).with(6, Fault::CrashAfter(200)),
+        SchedulerSpec::RandomLatency { min: 1, max: 30 },
+        8,
+    )
+    .waves(8);
+    checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn figure1_counterexample_topology() {
+    // Custom topology (no TopologySpec family): runs on the Cluster harness
+    // with the shared prefix-consistency checker.
+    let topo = topology::Topology {
+        name: "figure-1".into(),
+        fail_prone: asym_dag_rider::quorum::counterexample::fig1_fail_prone(),
+        quorums: asym_dag_rider::quorum::counterexample::fig1_quorums(),
+    };
+    let report = Cluster::new(topo)
+        .adversary(Adversary::Random(8))
+        .waves(5)
+        .blocks_per_process(2)
+        .txs_per_block(3)
+        .run_asymmetric();
+    assert!(report.quiescent);
+    checks::assert_prefix_consistent(&report.outputs);
+    checks::assert_no_duplicates(&report.outputs);
+    let guild = report.guild.clone().expect("fault-free figure-1 has a guild");
+    for g in &guild {
+        assert!(!report.outputs[g.index()].is_empty(), "guild member {g} ordered nothing");
+    }
 }
 
 #[test]
@@ -140,36 +160,57 @@ fn mixed_thresholds_topology() {
     assert!(fail_prone.satisfies_b3());
     let quorums = fail_prone.canonical_quorums();
     let topo = topology::Topology { name: "mixed-thresholds".into(), fail_prone, quorums };
-    check(topo, Adversary::Random(3), &[6], 8);
+    let report = Cluster::new(topo)
+        .adversary(Adversary::Random(3))
+        .crash([6])
+        .waves(8)
+        .blocks_per_process(2)
+        .txs_per_block(3)
+        .run_asymmetric();
+    assert!(report.quiescent);
+    checks::assert_prefix_consistent(&report.outputs);
+    checks::assert_no_duplicates(&report.outputs);
+    let guild = report.guild.clone().expect("one crash keeps a guild");
+    for g in &guild {
+        assert!(!report.outputs[g.index()].is_empty(), "guild member {g} ordered nothing");
+    }
 }
 
 #[test]
 fn validity_all_injected_blocks_ordered_eventually() {
     // Long run: everything injected up front must come out everywhere.
-    let report = Cluster::new(topology::uniform_threshold(4, 1))
-        .adversary(Adversary::Random(77))
-        .waves(10)
-        .blocks_per_process(3)
-        .txs_per_block(2)
-        .run_asymmetric();
-    assert!(report.quiescent);
-    let total_txs = 4 * 3 * 2;
-    for i in 0..4 {
-        let txs = report.delivered_txs(ProcessId::new(i));
-        for tx in 1..=total_txs as u64 {
-            assert!(txs.contains(&tx), "p{i} never delivered tx {tx}");
+    let scenario = Scenario::new(
+        TopologySpec::UniformThreshold { n: 4, f: 1 },
+        FaultPlan::none(),
+        SchedulerSpec::Random,
+        77,
+    )
+    .waves(10)
+    .blocks_per_process(3)
+    .txs_per_block(2);
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
+    let all_txs: Vec<u64> = outcome.injected.iter().flatten().flat_map(|b| b.txs.clone()).collect();
+    assert_eq!(all_txs.len(), 4 * 3 * 2);
+    for p in &outcome.correct {
+        let delivered = outcome.delivered_txs(p);
+        for tx in &all_txs {
+            assert!(delivered.contains(tx), "{p} never delivered tx {tx}");
         }
     }
 }
 
 #[test]
 fn coin_seed_changes_leader_schedule_but_not_safety() {
-    for coin_seed in [1u64, 2, 3] {
-        let report = Cluster::new(topology::uniform_threshold(4, 1))
-            .adversary(Adversary::Random(5))
-            .coin_seed(coin_seed)
-            .waves(6)
-            .run_asymmetric();
-        report.assert_total_order(&ProcessSet::full(4));
+    // Scenario seeds drive both the scheduler and (decorrelated) the coin:
+    // different seeds must keep every invariant while exploring different
+    // leader schedules.
+    for seed in [1u64, 2, 3] {
+        let scenario = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none(),
+            SchedulerSpec::Random,
+            seed,
+        );
+        checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
     }
 }

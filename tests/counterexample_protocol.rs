@@ -8,10 +8,7 @@ use asym_gather::{
     dataflow, find_common_core, AsymGather, Lemma32Scheduler, NaiveGather, ValueSet,
 };
 use asym_quorum::counterexample::{fig1_fail_prone, fig1_quorum_of, fig1_quorums, FIG1_N};
-
-fn pid(i: usize) -> ProcessId {
-    ProcessId::new(i)
-}
+use asym_scenarios::pid;
 
 fn fig1_choice() -> Vec<ProcessSet> {
     (0..FIG1_N).map(|i| fig1_quorum_of(pid(i))).collect()

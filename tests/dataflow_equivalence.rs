@@ -4,6 +4,7 @@
 //! This pins the protocol implementation to the paper's abstract model on a
 //! whole family of systems.
 
+use asym_scenarios::pid;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -11,10 +12,6 @@ use rand::SeedableRng;
 
 use asym_dag_rider::prelude::*;
 use asym_gather::{dataflow, Lemma32Scheduler, NaiveGather, ValueSet};
-
-fn pid(i: usize) -> ProcessId {
-    ProcessId::new(i)
-}
 
 /// Random single-quorum-per-process system with pairwise-intersecting
 /// quorums (majority size), so every receiver can arb-deliver its quorum's

@@ -1,45 +1,27 @@
 //! Fault-injection suite: mid-run crashes, send-omission (mute) processes,
 //! and adversarial starvation — safety must be unconditional, liveness holds
 //! for the guild whenever the surviving trust structure admits one.
+//!
+//! Every execution is a scenario cell audited by the full
+//! `asym_scenarios::checks` suite (prefix consistency, no fabrication, DAG
+//! well-formedness, guild liveness, determinism); the tests add only the
+//! scenario-specific expectations on top.
 
-use asym_dag_rider::prelude::*;
-
-fn pid(i: usize) -> ProcessId {
-    ProcessId::new(i)
-}
-
-fn riders(t: &topology::Topology, waves: u64, coin: u64) -> Vec<AsymDagRider> {
-    let config = RiderConfig { max_waves: waves, ..Default::default() };
-    (0..t.n()).map(|i| AsymDagRider::new(pid(i), t.quorums.clone(), coin, config)).collect()
-}
-
-fn assert_prefix_consistent(outputs: &[Vec<OrderedVertex>]) {
-    for a in outputs {
-        for b in outputs {
-            let common = a.len().min(b.len());
-            for k in 0..common {
-                assert_eq!(a[k].id, b[k].id, "total order violated at {k}");
-            }
-        }
-    }
-}
+use asym_scenarios::{checks, Fault, FaultPlan, Scenario, SchedulerSpec, TopologySpec};
 
 #[test]
 fn crash_mid_run_after_k_deliveries() {
-    // p3 processes 200 deliveries and then dies; the rest keep committing.
-    let t = topology::uniform_threshold(4, 1);
+    // p3 processes k deliveries and then dies; the rest keep committing.
     for k in [0u64, 50, 200, 1000] {
-        let mut sim = Simulation::new(riders(&t, 6, 42), scheduler::Random::new(k))
-            .with_fault(pid(3), FaultMode::CrashAfter(k));
-        for i in 0..4 {
-            sim.input(pid(i), Block::new(vec![i as u64]));
-        }
-        assert!(sim.run(200_000_000).quiescent, "k={k}");
-        let outputs: Vec<Vec<OrderedVertex>> =
-            (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
-        assert_prefix_consistent(&outputs);
-        for (i, o) in outputs.iter().take(3).enumerate() {
-            assert!(!o.is_empty(), "k={k}: survivor p{i} stalled");
+        let scenario = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none().with(3, Fault::CrashAfter(k)),
+            SchedulerSpec::Random,
+            k,
+        );
+        let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
+        for i in 0..3 {
+            assert!(!outcome.outputs[i].is_empty(), "k={k}: survivor p{i} stalled");
         }
     }
 }
@@ -48,17 +30,15 @@ fn crash_mid_run_after_k_deliveries() {
 fn mute_process_is_tolerated_like_a_crash() {
     // A mute process receives everything but its sends vanish — an
     // omission fault within the f = 1 budget.
-    let t = topology::uniform_threshold(4, 1);
-    let mut sim = Simulation::new(riders(&t, 6, 42), scheduler::Random::new(7))
-        .with_fault(pid(2), FaultMode::Mute);
-    for i in 0..4 {
-        sim.input(pid(i), Block::new(vec![i as u64]));
-    }
-    assert!(sim.run(200_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> = (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
-    assert_prefix_consistent(&outputs);
+    let scenario = Scenario::new(
+        TopologySpec::UniformThreshold { n: 4, f: 1 },
+        FaultPlan::none().with(2, Fault::Mute),
+        SchedulerSpec::Random,
+        7,
+    );
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
     for i in [0usize, 1, 3] {
-        assert!(!outputs[i].is_empty(), "p{i} must progress around the mute p2");
+        assert!(!outcome.outputs[i].is_empty(), "p{i} must progress around the mute p2");
     }
 }
 
@@ -66,69 +46,88 @@ fn mute_process_is_tolerated_like_a_crash() {
 fn two_simultaneous_fault_kinds() {
     // n=10, f=3 budget spent as: one crash-from-start, one mid-run crash,
     // one mute.
-    let t = topology::uniform_threshold(10, 3);
-    let mut sim = Simulation::new(riders(&t, 5, 42), scheduler::Random::new(3))
-        .with_fault(pid(7), FaultMode::CrashedFromStart)
-        .with_fault(pid(8), FaultMode::CrashAfter(500))
-        .with_fault(pid(9), FaultMode::Mute);
+    let scenario = Scenario::new(
+        TopologySpec::UniformThreshold { n: 10, f: 3 },
+        FaultPlan::none()
+            .with(7, Fault::Crash)
+            .with(8, Fault::CrashAfter(500))
+            .with(9, Fault::Mute),
+        SchedulerSpec::Random,
+        3,
+    )
+    .waves(5);
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
     for i in 0..7 {
-        sim.input(pid(i), Block::new(vec![i as u64]));
-    }
-    assert!(sim.run(500_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> = (0..10).map(|i| sim.outputs(pid(i)).to_vec()).collect();
-    assert_prefix_consistent(&outputs);
-    for (i, o) in outputs.iter().take(7).enumerate() {
-        assert!(!o.is_empty(), "survivor p{i} stalled");
+        assert!(!outcome.outputs[i].is_empty(), "survivor p{i} stalled");
     }
 }
 
 #[test]
 fn starving_one_process_delays_but_does_not_fork() {
-    let t = topology::uniform_threshold(7, 2);
-    let victims = ProcessSet::from_indices([0]);
-    let mut sim = Simulation::new(riders(&t, 5, 42), scheduler::TargetedDelay::new(victims));
-    for i in 0..7 {
-        sim.input(pid(i), Block::new(vec![i as u64]));
-    }
-    assert!(sim.run(500_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> = (0..7).map(|i| sim.outputs(pid(i)).to_vec()).collect();
-    assert_prefix_consistent(&outputs);
-    // Eventual delivery means even the victim catches up at quiescence.
-    assert!(!outputs[0].is_empty(), "victim must catch up eventually");
+    let scenario = Scenario::new(
+        TopologySpec::UniformThreshold { n: 7, f: 2 },
+        FaultPlan::none(),
+        SchedulerSpec::TargetedDelay { victims: vec![0] },
+        42,
+    )
+    .waves(5);
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
+    // Eventual delivery means even the victim catches up at quiescence (the
+    // guild-liveness checker already demands this; assert it explicitly).
+    assert!(!outcome.outputs[0].is_empty(), "victim must catch up eventually");
 }
 
 #[test]
 fn beyond_threshold_failures_stall_but_never_fork() {
     // 2 crashes with f = 1: no guild, no liveness promise — but whatever is
     // output stays consistent (safety is unconditional for crash faults).
-    let t = topology::uniform_threshold(4, 1);
-    let mut sim = Simulation::new(riders(&t, 4, 42), scheduler::Random::new(1))
-        .with_fault(pid(2), FaultMode::CrashedFromStart)
-        .with_fault(pid(3), FaultMode::CrashedFromStart);
-    for i in 0..2 {
-        sim.input(pid(i), Block::new(vec![i as u64]));
-    }
-    assert!(sim.run(50_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> = (0..4).map(|i| sim.outputs(pid(i)).to_vec()).collect();
-    assert_prefix_consistent(&outputs);
+    let scenario = Scenario::new(
+        TopologySpec::UniformThreshold { n: 4, f: 1 },
+        FaultPlan::crash_from_start([2, 3]),
+        SchedulerSpec::Random,
+        1,
+    )
+    .waves(4);
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
+    assert!(outcome.guild.is_none(), "two crashes with f=1 leave no guild");
     assert!(
-        outputs.iter().all(|o| o.is_empty()),
+        outcome.outputs.iter().all(|o| o.is_empty()),
         "no quorum of 3 exists among 2 correct processes — nothing can commit"
     );
 }
 
 #[test]
 fn guild_destroying_crash_on_stellar_topology_stalls_safely() {
-    let t = topology::stellar_tiers(8, 4, 1);
-    // Two core members exceed the core threshold of 1: guild vanishes.
-    assert!(maximal_guild(&t.fail_prone, &t.quorums, &ProcessSet::from_indices([0, 1])).is_none());
-    let mut sim = Simulation::new(riders(&t, 4, 42), scheduler::Random::new(2))
-        .with_fault(pid(0), FaultMode::CrashedFromStart)
-        .with_fault(pid(1), FaultMode::CrashedFromStart);
-    for i in 2..8 {
-        sim.input(pid(i), Block::new(vec![i as u64]));
+    // Two core members exceed the core threshold of 1: guild vanishes, and
+    // the checker suite degrades to safety-only (liveness is vacuous).
+    let scenario = Scenario::new(
+        TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 },
+        FaultPlan::crash_from_start([0, 1]),
+        SchedulerSpec::Random,
+        2,
+    )
+    .waves(4);
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| panic!("{e}"));
+    assert!(outcome.guild.is_none(), "two core crashes must destroy the guild");
+}
+
+#[test]
+fn every_fault_kind_replays_bit_for_bit() {
+    // The determinism the repro tuples rely on, across all fault kinds.
+    for plan in [
+        FaultPlan::none().with(3, Fault::CrashAfter(80)),
+        FaultPlan::none().with(2, Fault::Mute),
+        FaultPlan::crash_from_start([1]),
+    ] {
+        let scenario = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            plan,
+            SchedulerSpec::Random,
+            5,
+        )
+        .waves(4);
+        let (a, b) = (scenario.run(), asym_scenarios::replay(&scenario));
+        assert_eq!(a.outputs, b.outputs, "{scenario}");
+        assert_eq!(a.commit_logs, b.commit_logs, "{scenario}");
     }
-    assert!(sim.run(50_000_000).quiescent);
-    let outputs: Vec<Vec<OrderedVertex>> = (0..8).map(|i| sim.outputs(pid(i)).to_vec()).collect();
-    assert_prefix_consistent(&outputs);
 }

@@ -4,10 +4,7 @@
 
 use asym_dag_rider::prelude::*;
 use asym_gather::{check_pairwise_agreement, find_common_core, AsymGather, ValueSet};
-
-fn pid(i: usize) -> ProcessId {
-    ProcessId::new(i)
-}
+use asym_scenarios::pid;
 
 /// Runs Algorithm 3 on `topo` with `crashed` processes and verifies
 /// Definition 3.1 for the maximal guild.

@@ -6,11 +6,8 @@
 
 use asym_dag_rider::prelude::*;
 use asym_gather::{check_pairwise_agreement, find_common_core, AsymGather, ValueSet};
+use asym_scenarios::pid;
 use asym_sim::threaded;
-
-fn pid(i: usize) -> ProcessId {
-    ProcessId::new(i)
-}
 
 #[test]
 fn gather_on_threads_reaches_common_core() {
