@@ -1,0 +1,190 @@
+//! REC: the persistence & crash-recovery experiment — WAL append
+//! throughput (in-memory and file backends), snapshot size vs. DAG height,
+//! and recovery (replay) latency vs. DAG height, plus an end-to-end
+//! restart scenario reporting how much work recovery actually performed.
+//!
+//! Exits non-zero if any replayed state diverges from its source.
+//!
+//! ```bash
+//! cargo run --release -p asym-bench --bin exp_recovery            # full sweep
+//! cargo run --release -p asym-bench --bin exp_recovery -- --smoke # CI subset
+//! ```
+
+use std::time::Instant;
+
+use asym_bench::{render_table, Row};
+use asym_core::Block;
+use asym_dag::{Vertex, VertexId};
+use asym_quorum::{ProcessId, ProcessSet};
+use asym_scenarios::{checks, Fault, FaultPlan, Scenario, SchedulerSpec, TopologySpec};
+use asym_storage::{DagEvent, EventLog, StorageBackend, RECORD_HEADER_BYTES};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+type Log = EventLog<Block, StorageBackend>;
+
+/// The event stream of a full `n`-process DAG of `rounds` rounds, with one
+/// delivery + decision per wave — the synthetic workload all measurements
+/// share.
+fn workload(n: usize, rounds: u64) -> Vec<DagEvent<Block>> {
+    let mut events = Vec::new();
+    for r in 1..=rounds {
+        for i in 0..n {
+            events.push(DagEvent::VertexInserted(Vertex::new(
+                pid(i),
+                r,
+                Block::new(vec![r * 100 + i as u64, r, i as u64]),
+                ProcessSet::full(n),
+                vec![],
+            )));
+        }
+        if r.is_multiple_of(4) {
+            let wave = r / 4;
+            let leader = VertexId::new(4 * (wave - 1) + 1, pid((wave as usize) % n));
+            events.push(DagEvent::WaveConfirmed { wave });
+            events.push(DagEvent::WaveDecided { wave, leader });
+            events.push(DagEvent::BlockDelivered { id: leader, wave });
+        }
+    }
+    events
+}
+
+fn append_all(log: &mut Log, events: &[DagEvent<Block>]) {
+    for ev in events {
+        log.append(ev).expect("append");
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = 8;
+    let heights: &[u64] = if smoke { &[8, 16] } else { &[8, 16, 32, 64, 128] };
+    let throughput_rounds = if smoke { 32 } else { 256 };
+
+    // ── WAL append throughput, per backend ────────────────────────────────
+    let events = workload(n, throughput_rounds);
+    let total_bytes: u64 =
+        events.iter().map(|e| (e.encode().len() + RECORD_HEADER_BYTES) as u64).sum();
+    let mut rows = Vec::new();
+    let file_dir = std::env::temp_dir().join(format!("exp-recovery-{}", std::process::id()));
+    let backends: Vec<(&str, Log)> = vec![
+        ("mem", Log::new(StorageBackend::in_memory()).with_snapshot_every(0)),
+        (
+            "file",
+            Log::new(StorageBackend::file(&file_dir).expect("temp dir writable"))
+                .with_snapshot_every(0),
+        ),
+    ];
+    for (name, mut log) in backends {
+        let start = Instant::now();
+        append_all(&mut log, &events);
+        let dt = start.elapsed().as_secs_f64().max(1e-9);
+        rows.push(Row {
+            label: format!("append/{name}"),
+            values: vec![
+                ("events".into(), events.len() as f64),
+                ("kB".into(), total_bytes as f64 / 1024.0),
+                ("events/ms".into(), events.len() as f64 / (dt * 1e3)),
+                ("MB/s".into(), total_bytes as f64 / (1024.0 * 1024.0) / dt),
+            ],
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "REC-1 — WAL append throughput (n={n}, {throughput_rounds} rounds; \
+                 framed little-endian records, FNV-1a-64 checksums)"
+            ),
+            &rows
+        )
+    );
+
+    // ── Snapshot size and recovery latency vs. DAG height ─────────────────
+    let mut rows = Vec::new();
+    for &h in heights {
+        let events = workload(n, h);
+        let mut log = Log::new(StorageBackend::in_memory()).with_snapshot_every(0);
+        append_all(&mut log, &events);
+        let log_bytes = log.stats().bytes_appended;
+
+        let t0 = Instant::now();
+        let replayed = log.replay(n, pid(0), Block::default()).expect("replay");
+        let replay_log_us = t0.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(replayed.dag.len(), n + (n as u64 * h) as usize, "replay lost vertices");
+
+        // Compact into a snapshot and measure both its size and how fast
+        // recovery gets when it replays the snapshot instead of the log.
+        let mut snapped = Log::new(StorageBackend::in_memory());
+        snapped.install_snapshot(&replayed.to_snapshot_events()).expect("snapshot");
+        let snap_bytes = snapped.stats().last_snapshot_bytes;
+        let t1 = Instant::now();
+        let re = snapped.replay(n, pid(0), Block::default()).expect("replay snapshot");
+        let replay_snap_us = t1.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(re.dag.len(), replayed.dag.len(), "snapshot replay diverged");
+        assert_eq!(re.delivered, replayed.delivered, "snapshot lost deliveries");
+
+        rows.push(Row {
+            label: format!("height={h} ({} waves)", h / 4),
+            values: vec![
+                ("log kB".into(), log_bytes as f64 / 1024.0),
+                ("snap kB".into(), snap_bytes as f64 / 1024.0),
+                ("replay µs".into(), replay_log_us),
+                ("snap-replay µs".into(), replay_snap_us),
+            ],
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "REC-2 — snapshot size and recovery latency vs. DAG height (n={n}).\n\
+                 replay µs = folding the raw WAL back into DAG + delivered set + commit log"
+            ),
+            &rows
+        )
+    );
+
+    // ── End-to-end: a restart cell, with recovery work accounting ─────────
+    let waves = if smoke { 5 } else { 6 };
+    let scenario = Scenario::new(
+        TopologySpec::UniformThreshold { n: 4, f: 1 },
+        FaultPlan::none().with(1, Fault::Restart { crash_at: 150, recover_at: 1200 }),
+        SchedulerSpec::Random,
+        3,
+    )
+    .waves(waves);
+    let t0 = Instant::now();
+    let outcome = checks::run_and_check_all(&scenario).unwrap_or_else(|e| {
+        eprintln!("restart scenario violated an invariant:\n{e}");
+        std::process::exit(1);
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = outcome.wal_stats[1].expect("restart process has a WAL");
+    let replay = outcome.wal_replays[1].as_ref().unwrap().as_ref().unwrap();
+    let rows = vec![Row {
+        label: scenario.cell(),
+        values: vec![
+            ("wall ms".into(), wall_ms),
+            ("wal records".into(), stats.records_appended as f64),
+            ("wal kB".into(), stats.bytes_appended as f64 / 1024.0),
+            ("snapshots".into(), stats.snapshots_written as f64),
+            ("delivered".into(), outcome.outputs[1].len() as f64),
+            ("replay dag".into(), replay.dag.len() as f64),
+        ],
+    }];
+    println!(
+        "{}",
+        render_table(
+            "REC-3 — end-to-end restart cell (crash at 150 deliveries, recover at step 1200):\n\
+             the process rebuilds from its WAL, refetches, and rejoins — all invariant\n\
+             checkers (incl. no-double-delivery and WAL/state equivalence) pass",
+            &rows
+        )
+    );
+
+    let _ = std::fs::remove_dir_all(&file_dir);
+    println!("REC: all replays equivalent; recovery invariants hold ✓");
+}

@@ -21,17 +21,18 @@
 //!   quorum `Q ∈ Q_j` (for *any* process `j`, Algorithm 6 line 148) have
 //!   strong paths to it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use asym_broadcast::BcastMsg;
 use asym_crypto::CommonCoin;
 use asym_dag::{
-    position_in_wave, round_of_wave, wave_of_round, DagStore, Vertex, VertexId, WaveId,
+    position_in_wave, round_of_wave, wave_of_round, DagStore, Round, Vertex, VertexId, WaveId,
 };
 use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
 use asym_sim::{Context, Protocol};
+use asym_storage::{DagEvent, RecoveredState, StorageError};
 
-use crate::dagcore::DagCore;
+use crate::dagcore::{DagCore, DagLog};
 use crate::ordering::{CommitOutcome, WaveCommitter};
 use crate::types::{Block, OrderedVertex, RiderConfig, RiderMetrics};
 
@@ -58,6 +59,24 @@ pub enum AsymRiderMsg {
         /// Wave this confirmation concerns.
         wave: WaveId,
     },
+    /// A recovering process asks for every DAG vertex above `above_round`
+    /// (plus the responder's confirmed waves) — the catch-up half of the
+    /// crash-recovery protocol.
+    Fetch {
+        /// Only vertices in rounds strictly above this are requested.
+        above_round: Round,
+    },
+    /// Point-to-point reply to [`AsymRiderMsg::Fetch`]: the responder's
+    /// stored vertices above the requested round (parents first) and the
+    /// waves it has CONFIRMed. Fetched vertices bypass reliable broadcast,
+    /// so the requester only accepts a vertex once identical copies arrived
+    /// from one of its kernels (a set intersecting all its quorums).
+    FetchReply {
+        /// Vertices from the responder's DAG, in `(round, source)` order.
+        vertices: Vec<Vertex<Block>>,
+        /// Waves for which the responder has broadcast CONFIRM.
+        confirmed: Vec<WaveId>,
+    },
 }
 
 #[derive(Clone, Debug, Default)]
@@ -83,6 +102,19 @@ pub struct AsymDagRider {
     coin: CommonCoin,
     control: HashMap<WaveId, WaveControl>,
     acked_vertices: HashSet<VertexId>,
+    /// `true` once this process has restarted from its log at least once;
+    /// enables the stalled-buffer refetch heuristic.
+    recovering: bool,
+    /// Fetched vertices awaiting identical copies from a kernel of mine
+    /// (id → the distinct copies seen, each with who vouched for it; one
+    /// vote per responder per id, so the list is bounded by `n` and a
+    /// Byzantine first responder cannot veto the genuine copy).
+    fetch_pending: HashMap<VertexId, Vec<(Vertex<Block>, ProcessSet)>>,
+    /// The missing-parent set of the last refetch, to bound refetch traffic.
+    last_missing: BTreeSet<VertexId>,
+    /// `true` if the most recent fetch replies added vouching votes — the
+    /// signal that one more refetch round may complete a kernel.
+    fetch_progress: bool,
 }
 
 impl AsymDagRider {
@@ -101,7 +133,43 @@ impl AsymDagRider {
             coin: CommonCoin::new(coin_seed, n),
             control: HashMap::new(),
             acked_vertices: HashSet::new(),
+            recovering: false,
+            fetch_pending: HashMap::new(),
+            last_missing: BTreeSet::new(),
+            fetch_progress: false,
         }
+    }
+
+    /// Attaches a write-ahead log (builder-style): every DAG insertion,
+    /// `tReady` milestone, wave decision and atomic delivery is persisted,
+    /// and [`Protocol::on_recover`] rebuilds the process from it after a
+    /// [`FaultMode::RestartAfter`](asym_sim::FaultMode::RestartAfter) crash.
+    #[must_use]
+    pub fn with_storage(mut self, log: DagLog) -> Self {
+        self.core.set_log(log);
+        self
+    }
+
+    /// The attached write-ahead log, if any (observer inspection — the
+    /// scenario harness replays it to audit WAL/state equivalence).
+    pub fn storage(&self) -> Option<&DagLog> {
+        self.core.log()
+    }
+
+    /// Replays the attached log into recovered state without touching the
+    /// live process — what a restart *would* rebuild right now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StorageError`] from the log (corruption, I/O).
+    pub fn replay_storage(&self) -> Option<Result<RecoveredState<Block>, StorageError>> {
+        let log = self.core.log()?;
+        Some(log.replay(self.quorums.n(), self.core.me(), Block::default()))
+    }
+
+    /// `true` once this process has restarted from its log.
+    pub fn has_recovered(&self) -> bool {
+        self.recovering
     }
 
     /// The local DAG (observer inspection).
@@ -152,6 +220,7 @@ impl AsymDagRider {
         self.core.metrics_mut().waves_attempted += 1;
         let quorums = self.quorums.clone();
         let mut out = Vec::new();
+        let commits_before = self.committer.log().len();
         let outcome = self.committer.wave_ready(
             self.core.dag(),
             &self.coin,
@@ -163,6 +232,19 @@ impl AsymDagRider {
             CommitOutcome::NoLeaderVertex => self.core.metrics_mut().waves_skipped_no_leader += 1,
             CommitOutcome::RuleNotMet => self.core.metrics_mut().waves_skipped_rule += 1,
             CommitOutcome::Committed { .. } => self.core.metrics_mut().waves_committed += 1,
+        }
+        // Persist the decision and every delivery *before* handing the
+        // outputs to the environment: on replay, a delivery the WAL lacks
+        // was never observable, and one it has is never re-delivered.
+        let decided: Vec<(WaveId, VertexId)> = self.committer.log()[commits_before..].to_vec();
+        if let Some(log) = self.core.log_mut() {
+            for (wave, leader) in decided {
+                log.append(&DagEvent::WaveDecided { wave, leader }).expect("WAL append failed");
+            }
+            for o in &out {
+                log.append(&DagEvent::BlockDelivered { id: o.id, wave: o.committed_in_wave })
+                    .expect("WAL append failed");
+            }
         }
         for o in out {
             self.core.metrics_mut().vertices_ordered += 1;
@@ -224,9 +306,183 @@ impl AsymDagRider {
             ctx.broadcast(AsymRiderMsg::Confirm { wave });
         }
         // Line 135: tReady after CONFIRMs from one of my quorums.
-        if !ctrl.t_ready && self.quorums.contains_quorum_for(me, &ctrl.confirms) {
+        let became_ready = !ctrl.t_ready && self.quorums.contains_quorum_for(me, &ctrl.confirms);
+        if became_ready {
             ctrl.t_ready = true;
+            if let Some(log) = self.core.log_mut() {
+                log.append(&DagEvent::WaveConfirmed { wave }).expect("WAL append failed");
+            }
         }
+    }
+
+    /// Compacts the full durable state into the canonical snapshot event
+    /// sequence (the ordering contract lives in
+    /// [`asym_storage::snapshot_events`], shared with replay-side
+    /// compaction so the two paths cannot drift).
+    fn snapshot_events(&self) -> Vec<DagEvent<Block>> {
+        asym_storage::snapshot_events(
+            self.core.dag(),
+            self.control.iter().filter(|(_, c)| c.t_ready).map(|(w, _)| *w),
+            self.committer.log(),
+            self.committer.delivered(),
+        )
+    }
+
+    /// Installs a snapshot when the WAL's cadence asks for one.
+    fn maybe_snapshot(&mut self) {
+        if !self.core.log().is_some_and(DagLog::should_snapshot) {
+            return;
+        }
+        let events = self.snapshot_events();
+        self.core
+            .log_mut()
+            .expect("checked above")
+            .install_snapshot(&events)
+            .expect("WAL snapshot failed");
+    }
+
+    /// Discards all in-memory state and rebuilds this process from its
+    /// write-ahead log, then rejoins the run: re-announces confirmed waves
+    /// (unblocking peers stalled mid-ladder), revives its own stalled
+    /// broadcast instances, and fetches everything it missed from peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is corrupt or unreadable: a process that cannot
+    /// trust its durable state must not rejoin (fail-stop).
+    fn restart_from_log(&mut self, ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>) {
+        let Some(log) = self.core.take_log() else {
+            return; // no persistence layer: resume with in-memory state
+        };
+        let me = self.core.me();
+        let config = self.core.config();
+        let recovered =
+            log.replay(self.quorums.n(), me, Block::default()).expect("WAL replay failed");
+
+        // Everything below derives from static configuration + the log —
+        // nothing survives from the pre-crash in-memory state.
+        self.core = DagCore::from_recovered(me, self.quorums.clone(), config, &recovered, log);
+        self.committer = WaveCommitter::from_parts(
+            recovered.decided_wave,
+            recovered.delivered.iter().copied(),
+            recovered.commit_log.clone(),
+        );
+        self.control = HashMap::new();
+        self.acked_vertices = HashSet::new();
+        self.fetch_pending = HashMap::new();
+        self.last_missing = BTreeSet::new();
+        self.fetch_progress = false;
+        self.recovering = true;
+        for w in &recovered.confirmed_waves {
+            let ctrl = self.control.entry(*w).or_default();
+            ctrl.t_ready = true;
+            // Mark the outbound ladder done for finished waves and instead
+            // re-announce once, so peers stalled mid-ladder progress and we
+            // do not re-broadcast on every late control message.
+            ctrl.sent_ready = true;
+            ctrl.sent_confirm = true;
+            ctx.broadcast(AsymRiderMsg::Confirm { wave: *w });
+        }
+        for m in self.core.rebroadcast_own() {
+            ctx.broadcast(AsymRiderMsg::Arb(m));
+        }
+        // Full state sync (floor 0): most of the reply duplicates the
+        // replayed DAG and is discarded on arrival, but any tighter floor
+        // can miss old vertices we never held (they surface later as weak
+        // edges), forcing refetch round-trips; at simulation sizes the
+        // simple, always-correct request wins. Replies are cross-validated
+        // against a kernel before anything enters the DAG.
+        ctx.broadcast(AsymRiderMsg::Fetch { above_round: 0 });
+        self.advance(ctx);
+    }
+
+    /// Builds the reply to a peer's catch-up request.
+    fn fetch_reply(&self, above_round: Round) -> AsymRiderMsg {
+        let dag = self.core.dag();
+        let mut vertices = Vec::new();
+        for r in (above_round + 1)..=dag.max_round().unwrap_or(0) {
+            vertices.extend(dag.vertices_in_round(r).cloned());
+        }
+        let mut confirmed: Vec<WaveId> =
+            self.control.iter().filter(|(_, c)| c.sent_confirm).map(|(w, _)| *w).collect();
+        confirmed.sort_unstable();
+        AsymRiderMsg::FetchReply { vertices, confirmed }
+    }
+
+    /// Folds one peer's catch-up reply in: every vertex is validated with
+    /// the line-140 rule and accepted only once bit-identical copies have
+    /// arrived from one of my kernels — a kernel intersects all my quorums,
+    /// so at least one vouching process is one my trust assumption counts
+    /// on, and a lone equivocator cannot smuggle a forged vertex past
+    /// reliable broadcast through the fetch path. Votes are tracked per
+    /// *copy* (not just per id), so a forged first reply cannot veto the
+    /// genuine copy either; one vote per responder per id bounds the state.
+    fn handle_fetch_reply(
+        &mut self,
+        from: ProcessId,
+        vertices: Vec<Vertex<Block>>,
+        confirmed: Vec<WaveId>,
+        ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>,
+    ) {
+        let me = self.core.me();
+        for v in vertices {
+            let id = v.id();
+            if v.round() == 0
+                || v.source() == me
+                || self.core.dag().contains(id)
+                || self.core.has_buffered(id)
+                || self.quorums.contains_quorum_for_any(v.strong_edges()).is_none()
+            {
+                continue;
+            }
+            let copies = self.fetch_pending.entry(id).or_default();
+            if copies.iter().any(|(_, voters)| voters.contains(from)) {
+                continue; // one vote per responder per id (first copy wins)
+            }
+            let slot = match copies.iter().position(|(copy, _)| *copy == v) {
+                Some(i) => i,
+                None => {
+                    copies.push((v, ProcessSet::new()));
+                    copies.len() - 1
+                }
+            };
+            copies[slot].1.insert(from);
+            // New evidence arrived: worth one more refetch round if the
+            // buffer is still blocked (see `maybe_refetch`).
+            self.fetch_progress = true;
+            if self.quorums.hits_kernel_for(me, &copies[slot].1) {
+                let (v, _) = copies.swap_remove(slot);
+                self.fetch_pending.remove(&id);
+                self.core.accept_fetched(v);
+            }
+        }
+        for wave in confirmed {
+            self.control.entry(wave).or_default().confirms.insert(from);
+            self.control_step(wave, ctx);
+        }
+    }
+
+    /// If recovery left the insertion buffer blocked on parents nobody has
+    /// sent us (a vertex can finish dissemination entirely inside our down
+    /// window), ask again. A refetch fires when the missing-parent set
+    /// *changes*, or when the last reply round still added vouching votes —
+    /// a fetch can race peers that have arb-delivered but not yet inserted
+    /// a vertex, so "same missing set but votes grew" must retry until the
+    /// kernel threshold is met. Votes per vertex are bounded by `n` and
+    /// vertices by the run, so refetch traffic stays finite and the
+    /// network still quiesces.
+    fn maybe_refetch(&mut self, ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>) {
+        if !self.recovering {
+            return;
+        }
+        let missing = self.core.missing_parents();
+        let progress = std::mem::take(&mut self.fetch_progress);
+        if missing.is_empty() || (missing == self.last_missing && !progress) {
+            return;
+        }
+        let floor = missing.iter().next().expect("non-empty").round.saturating_sub(1);
+        self.last_missing = missing;
+        ctx.broadcast(AsymRiderMsg::Fetch { above_round: floor });
     }
 }
 
@@ -237,11 +493,17 @@ impl Protocol for AsymDagRider {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         self.advance(ctx);
+        self.maybe_snapshot();
     }
 
     fn on_input(&mut self, block: Block, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         self.core.enqueue_block(block);
         self.advance(ctx);
+        self.maybe_snapshot();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        self.restart_from_log(ctx);
     }
 
     fn on_message(
@@ -282,8 +544,17 @@ impl Protocol for AsymDagRider {
                 self.control.entry(wave).or_default().confirms.insert(from);
                 self.control_step(wave, ctx);
             }
+            AsymRiderMsg::Fetch { above_round } => {
+                let reply = self.fetch_reply(above_round);
+                ctx.send(from, reply);
+            }
+            AsymRiderMsg::FetchReply { vertices, confirmed } => {
+                self.handle_fetch_reply(from, vertices, confirmed, ctx);
+            }
         }
         self.advance(ctx);
+        self.maybe_refetch(ctx);
+        self.maybe_snapshot();
     }
 }
 
@@ -450,6 +721,101 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Builds a cluster in which process `restarted` persists to a WAL and
+    /// crashes/restarts, runs it, and checks the recovery invariants: no
+    /// double delivery, prefix consistency with the always-up processes,
+    /// and exact WAL/state equivalence at the end of the run.
+    fn run_restart(
+        t: &topology::Topology,
+        restarted: usize,
+        crash_at: u64,
+        recover_at: u64,
+        seed: u64,
+        snapshot_every: usize,
+    ) -> Vec<Vec<OrderedVertex>> {
+        use asym_storage::StorageBackend;
+
+        let mut procs = cluster(t, 6);
+        procs[restarted] = procs[restarted].clone().with_storage(
+            crate::DagLog::new(StorageBackend::in_memory()).with_snapshot_every(snapshot_every),
+        );
+        let mut sim = Simulation::new(procs, scheduler::Random::new(seed))
+            .with_fault(pid(restarted), FaultMode::RestartAfter { crash_at, recover_at });
+        for i in 0..t.n() {
+            sim.input(pid(i), Block::new(vec![8000 + i as u64]));
+        }
+        let report = sim.run(200_000_000);
+        assert!(report.quiescent, "seed {seed}: did not quiesce");
+
+        let outputs: Vec<Vec<OrderedVertex>> =
+            (0..t.n()).map(|i| sim.outputs(pid(i)).to_vec()).collect();
+        let r = sim.process(pid(restarted));
+        assert!(r.has_recovered(), "restart window never fired");
+
+        // Integrity across the restart: nothing delivered twice.
+        let mut seen = HashSet::new();
+        for v in &outputs[restarted] {
+            assert!(seen.insert(v.id), "{} delivered twice across restart", v.id);
+        }
+        // Prefix consistency with every always-up process.
+        for (i, out) in outputs.iter().enumerate() {
+            if i == restarted {
+                continue;
+            }
+            let common = out.len().min(outputs[restarted].len());
+            for k in 0..common {
+                assert_eq!(out[k].id, outputs[restarted][k].id, "fork at {k} vs p{i}");
+            }
+        }
+        // WAL/state equivalence: replaying the final log reproduces the
+        // live state exactly.
+        let replayed = r.replay_storage().expect("storage attached").expect("log readable");
+        assert_eq!(replayed.dag.len(), r.dag().len());
+        assert_eq!(replayed.decided_wave, r.decided_wave());
+        assert_eq!(replayed.commit_log, r.commit_log().to_vec());
+        let live: std::collections::BTreeSet<VertexId> = r.committer().delivered().collect();
+        assert_eq!(replayed.delivered, live);
+        outputs
+    }
+
+    #[test]
+    fn restart_replays_log_and_rejoins() {
+        let t = topology::uniform_threshold(4, 1);
+        let outputs = run_restart(&t, 2, 150, 1200, 3, 0);
+        assert!(!outputs[2].is_empty(), "restarted process must catch up and deliver");
+    }
+
+    #[test]
+    fn restart_with_snapshots_matches_restart_without() {
+        let t = topology::uniform_threshold(4, 1);
+        let plain = run_restart(&t, 1, 100, 800, 7, 0);
+        let snapped = run_restart(&t, 1, 100, 800, 7, 16);
+        assert_eq!(plain, snapped, "snapshot cadence must not change the execution");
+    }
+
+    #[test]
+    fn restart_after_quiescence_still_catches_up() {
+        // recover_at far beyond the run: recovery is forced at quiescence;
+        // the restarted process must rebuild purely from WAL + fetch.
+        let t = topology::uniform_threshold(4, 1);
+        let outputs = run_restart(&t, 3, 120, 50_000_000, 11, 0);
+        assert!(!outputs[3].is_empty(), "post-quiescence recovery must still deliver");
+        // It must reach the same delivered prefix as an always-up process.
+        assert!(
+            outputs[3].len() >= outputs[0].len() * 2 / 3,
+            "recovered process fell too far behind: {} vs {}",
+            outputs[3].len(),
+            outputs[0].len()
+        );
+    }
+
+    #[test]
+    fn restart_on_ripple_topology() {
+        let t = topology::ripple_unl(7, 6, 1);
+        let outputs = run_restart(&t, 5, 200, 1500, 5, 32);
+        assert!(!outputs[5].is_empty());
     }
 
     #[test]

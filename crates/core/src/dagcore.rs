@@ -3,13 +3,18 @@
 //! and new-vertex creation with strong/weak edges (Algorithm 4, lines 78–98
 //! and Algorithm 6, lines 137–143).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 
 use asym_broadcast::{BcastMsg, BroadcastHub};
 use asym_dag::{DagStore, Round, Vertex, VertexId};
 use asym_quorum::{AsymQuorumSystem, ProcessId, ProcessSet};
+use asym_storage::{DagEvent, EventLog, RecoveredState, StorageBackend};
 
 use crate::types::{Block, RiderConfig, RiderMetrics};
+
+/// The write-ahead log type the consensus processes persist to: typed DAG
+/// events over either storage backend.
+pub type DagLog = EventLog<Block, StorageBackend>;
 
 /// The DAG-construction engine of one process: owns the local DAG, the
 /// arb hub for vertex dissemination, the insertion buffer and the block
@@ -26,6 +31,7 @@ pub struct DagCore {
     blocks: VecDeque<Block>,
     config: RiderConfig,
     metrics: RiderMetrics,
+    log: Option<DagLog>,
 }
 
 impl DagCore {
@@ -43,7 +49,64 @@ impl DagCore {
             blocks: VecDeque::new(),
             config,
             metrics: RiderMetrics::default(),
+            log: None,
         }
+    }
+
+    /// Attaches a write-ahead log (builder-style): from now on every vertex
+    /// that enters the DAG is durably recorded in the same step.
+    #[must_use]
+    pub fn with_log(mut self, log: DagLog) -> Self {
+        self.set_log(log);
+        self
+    }
+
+    /// Attaches a write-ahead log in place (see [`DagCore::with_log`]).
+    pub fn set_log(&mut self, log: DagLog) {
+        self.log = Some(log);
+    }
+
+    /// Rebuilds an engine from crash-recovered state: the replayed DAG and
+    /// round counter, plus the (still-attached) log it was replayed from.
+    /// The broadcast hub, insertion buffer and block queue restart empty —
+    /// they are in-memory transients a real crash loses.
+    pub fn from_recovered(
+        me: ProcessId,
+        quorums: AsymQuorumSystem,
+        config: RiderConfig,
+        recovered: &RecoveredState<Block>,
+        log: DagLog,
+    ) -> Self {
+        let n = quorums.n();
+        DagCore {
+            me,
+            n,
+            hub: BroadcastHub::new(me, quorums),
+            dag: recovered.dag.clone(),
+            buffer: Vec::new(),
+            round: recovered.own_round,
+            blocks: VecDeque::new(),
+            config,
+            metrics: RiderMetrics::default(),
+            log: Some(log),
+        }
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn log(&self) -> Option<&DagLog> {
+        self.log.as_ref()
+    }
+
+    /// Mutable access to the attached log (wave/delivery events, snapshot
+    /// installation).
+    pub fn log_mut(&mut self) -> Option<&mut DagLog> {
+        self.log.as_mut()
+    }
+
+    /// Detaches and returns the log — the durable bytes that survive a
+    /// modelled crash while the rest of this engine is dropped.
+    pub fn take_log(&mut self) -> Option<DagLog> {
+        self.log.take()
     }
 
     /// This process's identity.
@@ -136,7 +199,16 @@ impl DagCore {
                 let v = &self.buffer[i];
                 if v.round() <= self.round && self.dag.parents_present(v) {
                     let v = self.buffer.swap_remove(i);
-                    match self.dag.insert(v) {
+                    let log = &mut self.log;
+                    let hook = |v: &Vertex<Block>| {
+                        if let Some(log) = log {
+                            // A process that cannot persist must stop
+                            // (fail-stop) rather than diverge from its log.
+                            log.append(&DagEvent::VertexInserted(v.clone()))
+                                .expect("WAL append failed");
+                        }
+                    };
+                    match self.dag.insert_with(v, hook) {
                         Ok(()) => inserted_one = true,
                         Err(asym_dag::DagError::Duplicate(_)) => {}
                         Err(e) => unreachable!("parents checked: {e}"),
@@ -179,6 +251,58 @@ impl DagCore {
         self.buffer.push(v.clone());
         self.drain_buffer();
         self.hub.broadcast(round, v)
+    }
+
+    /// Re-initiates reliable broadcast for every own vertex in the DAG —
+    /// called once after crash recovery. Instances whose dissemination
+    /// completed before the crash ignore the duplicate SEND; instances that
+    /// stalled because this process's ECHO/READY died with it are revived
+    /// (the fresh hub echoes its own re-SEND, completing the quorum).
+    pub fn rebroadcast_own(&mut self) -> Vec<BcastMsg<Vertex<Block>>> {
+        let mut out = Vec::new();
+        for r in 1..=self.round {
+            if let Some(v) = self.dag.get(VertexId::new(r, self.me)) {
+                let v = v.clone();
+                out.extend(self.hub.broadcast(r, v));
+            }
+        }
+        out
+    }
+
+    /// Accepts a vertex obtained through the recovery fetch protocol
+    /// (bypassing reliable broadcast — the caller has already established
+    /// that enough processes vouch for it). Buffered like an arb delivery;
+    /// insertion still waits for the round bound and the causal history.
+    pub fn accept_fetched(&mut self, v: Vertex<Block>) {
+        if v.round() == 0 || self.dag.contains(v.id()) {
+            return;
+        }
+        if self.buffer.iter().any(|b| b.id() == v.id()) {
+            return;
+        }
+        self.buffer.push(v);
+    }
+
+    /// `true` if a vertex with this identity is waiting in the insertion
+    /// buffer.
+    pub fn has_buffered(&self, id: VertexId) -> bool {
+        self.buffer.iter().any(|b| b.id() == id)
+    }
+
+    /// Parents referenced by buffered vertices that are neither stored nor
+    /// themselves buffered — the vertices a recovering process must fetch
+    /// before its buffer can drain.
+    pub fn missing_parents(&self) -> BTreeSet<VertexId> {
+        let buffered: HashSet<VertexId> = self.buffer.iter().map(Vertex::id).collect();
+        let mut missing = BTreeSet::new();
+        for v in &self.buffer {
+            for p in v.parents() {
+                if !self.dag.contains(p) && !buffered.contains(&p) {
+                    missing.insert(p);
+                }
+            }
+        }
+        missing
     }
 
     /// `setWeakEdges` (Algorithm 4, lines 84–88): weak edges to every vertex

@@ -12,7 +12,14 @@
 //!   `|P| / c(Q)` waves (Lemma 4.4);
 //! * shared substrate: [`DagCore`] (vertex lifecycle), [`WaveCommitter`]
 //!   (leader-stack ordering), [`Block`] / [`OrderedVertex`] /
-//!   [`RiderConfig`] / [`RiderMetrics`].
+//!   [`RiderConfig`] / [`RiderMetrics`];
+//! * crash recovery: [`AsymDagRider::with_storage`] attaches a [`DagLog`]
+//!   (an `asym-storage` write-ahead log of inserts, confirms, decisions and
+//!   deliveries); after a
+//!   [`FaultMode::RestartAfter`](asym_sim::FaultMode::RestartAfter) window
+//!   the process replays the log, re-announces its confirmed waves, revives
+//!   its stalled broadcasts and fetches missed rounds from peers — without
+//!   ever delivering a block twice.
 //!
 //! Both protocols implement [`asym_sim::Protocol`]: inputs are blocks
 //! (`aa-broadcast`), outputs are [`OrderedVertex`] events (`aa-deliver`) in
@@ -44,7 +51,7 @@ mod rider;
 mod types;
 
 pub use asym_rider::{AsymDagRider, AsymRiderMsg};
-pub use dagcore::DagCore;
+pub use dagcore::{DagCore, DagLog};
 pub use ordering::{CommitOutcome, WaveCommitter};
 pub use rider::{DagRider, RiderMsg};
 pub use types::{Block, OrderedVertex, RiderConfig, RiderMetrics, Tx};

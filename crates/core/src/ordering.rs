@@ -45,6 +45,29 @@ impl WaveCommitter {
         WaveCommitter::default()
     }
 
+    /// Reconstructs a committer from recovered durable state — the
+    /// crash-recovery path. `delivered` is the set of already-delivered
+    /// vertices (the guarantee that nothing is delivered twice across a
+    /// restart); `log` is the commit log in commit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log` waves are not strictly increasing or exceed
+    /// `decided_wave` — state no correct process can have persisted.
+    pub fn from_parts(
+        decided_wave: WaveId,
+        delivered: impl IntoIterator<Item = VertexId>,
+        log: Vec<(WaveId, VertexId)>,
+    ) -> Self {
+        for w in log.windows(2) {
+            assert!(w[0].0 < w[1].0, "recovered commit log must be strictly increasing");
+        }
+        if let Some((last, _)) = log.last() {
+            assert!(*last <= decided_wave, "recovered log extends past the decided wave");
+        }
+        WaveCommitter { decided_wave, delivered: delivered.into_iter().collect(), log }
+    }
+
     /// The last decided wave (0 = none).
     pub fn decided_wave(&self) -> WaveId {
         self.decided_wave

@@ -40,6 +40,23 @@ impl Block {
     }
 }
 
+impl asym_storage::BlockCodec for Block {
+    fn encode_block(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.encode());
+    }
+
+    fn decode_block(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let mut txs = Vec::with_capacity(bytes.len() / 8);
+        for chunk in bytes.chunks_exact(8) {
+            txs.push(Tx::from_le_bytes(chunk.try_into().ok()?));
+        }
+        Some(Block { txs })
+    }
+}
+
 /// One atomically delivered vertex: the unit of `aa-deliver`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OrderedVertex {

@@ -111,6 +111,22 @@ impl<B> DagStore<B> {
     /// [`DagError::MissingParent`] if any strong or weak edge references an
     /// absent vertex (callers buffer such vertices — Algorithm 4 line 95).
     pub fn insert(&mut self, vertex: Vertex<B>) -> Result<(), DagError> {
+        self.insert_with(vertex, |_| {})
+    }
+
+    /// Inserts a vertex, invoking `on_insert` on the stored vertex iff the
+    /// insertion succeeds — the event-emitting hook a write-ahead log
+    /// attaches to, so every vertex that enters the DAG is durably recorded
+    /// in the same step.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DagStore::insert`]; `on_insert` is *not* called on error.
+    pub fn insert_with(
+        &mut self,
+        vertex: Vertex<B>,
+        on_insert: impl FnOnce(&Vertex<B>),
+    ) -> Result<(), DagError> {
         let id = vertex.id();
         if self.contains(id) {
             return Err(DagError::Duplicate(id));
@@ -120,8 +136,9 @@ impl<B> DagStore<B> {
                 return Err(DagError::MissingParent { vertex: id, parent });
             }
         }
-        self.rounds.entry(id.round).or_default().insert(id.source, vertex);
+        let slot = self.rounds.entry(id.round).or_default().entry(id.source).or_insert(vertex);
         self.len += 1;
+        on_insert(slot);
         Ok(())
     }
 
@@ -310,6 +327,20 @@ mod tests {
         let mut dag = full_dag(4, 1);
         let v = Vertex::new(pid(0), 1, 9u64, ProcessSet::full(4), vec![]);
         assert_eq!(dag.insert(v), Err(DagError::Duplicate(vid(1, 0))));
+    }
+
+    #[test]
+    fn insert_hook_fires_only_on_success() {
+        let mut dag: DagStore<u64> = DagStore::with_genesis(3, 0);
+        let mut seen = Vec::new();
+        let v = Vertex::new(pid(0), 1, 7u64, ProcessSet::full(3), vec![]);
+        dag.insert_with(v.clone(), |v| seen.push(v.id())).unwrap();
+        assert_eq!(seen, vec![vid(1, 0)]);
+        // Duplicate: error, hook not fired.
+        assert!(dag.insert_with(v, |v| seen.push(v.id())).is_err());
+        let orphan = Vertex::new(pid(1), 2, 8u64, ProcessSet::from_indices([2]), vec![]);
+        assert!(dag.insert_with(orphan, |v| seen.push(v.id())).is_err());
+        assert_eq!(seen.len(), 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@ proptest! {
     /// Whatever `random_slices` returns satisfies B³ and the
     /// consistency/availability preconditions of an asymmetric quorum
     /// system — for arbitrary (n, slice, f, seed) draws.
+    #[test]
     fn random_slices_satisfy_consistency_precondition(
         n in 4usize..10,
         extra in 0usize..3,
@@ -38,6 +39,7 @@ proptest! {
 
     /// Same seed ⇒ identical topology, bit for bit; and the `TopologySpec`
     /// wrapper rebuilds the same system the direct call produces.
+    #[test]
     fn random_slices_deterministic_per_seed(
         n in 5usize..9,
         seed in 0u64..5000,
@@ -58,6 +60,7 @@ proptest! {
 
     /// `random_faulty` respects its cardinality bound and the process-id
     /// range, and is deterministic given the RNG state.
+    #[test]
     fn random_faulty_bounded_and_deterministic(
         n in 1usize..20,
         max_faulty in 0usize..6,
@@ -78,6 +81,7 @@ proptest! {
 
     /// Generated random topologies work with the guild machinery: failing
     /// nobody always leaves the full process set as the maximal guild.
+    #[test]
     fn random_slices_fault_free_guild_is_everyone(
         n in 5usize..9,
         seed in 0u64..1000,

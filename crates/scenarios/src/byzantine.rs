@@ -173,4 +173,12 @@ impl Protocol for Party {
             Party::Byzantine(p) => p.on_message(from, msg, ctx),
         }
     }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        // Byzantine restart is not modelled (a ROADMAP gap): attackers keep
+        // the default "merely unreachable" semantics.
+        if let Party::Honest(p) = self {
+            p.on_recover(ctx)
+        }
+    }
 }

@@ -17,6 +17,10 @@
 //! | [`delivery_bookkeeping`] | the committer's delivered set and log agree exactly with the observed output stream |
 //! | [`guild_liveness`] | when a guild survives the fault plan, every guild member commits |
 //! | [`same_seed_determinism`] | the descriptor replays to the identical commit log |
+//! | [`restart_no_double_delivery`] | a crash-restarted process never delivers a vertex twice across its restart |
+//! | [`restart_prefix_consistency`] | a restarted process's delivered sequence stays a prefix-match with every fault-free process |
+//! | [`restart_liveness`] | when a guild survives, a restarted process recovers, rejoins and delivers |
+//! | [`wal_state_equivalence`] | replaying a process's final WAL reproduces its live DAG, delivered set and commit log exactly |
 
 use std::collections::HashSet;
 
@@ -42,6 +46,10 @@ pub fn standard_checks() -> Vec<(&'static str, CheckFn)> {
         ("delivery_bookkeeping", delivery_bookkeeping),
         ("guild_liveness", guild_liveness),
         ("same_seed_determinism", same_seed_determinism),
+        ("restart_no_double_delivery", restart_no_double_delivery),
+        ("restart_prefix_consistency", restart_prefix_consistency),
+        ("restart_liveness", restart_liveness),
+        ("wal_state_equivalence", wal_state_equivalence),
     ]
 }
 
@@ -386,6 +394,128 @@ pub fn same_seed_determinism(o: &ScenarioOutcome) -> Result<(), String> {
     Ok(())
 }
 
+/// Integrity across a restart: a crash-restarted process must never deliver
+/// the same vertex twice, even though its post-recovery half runs from a
+/// state rebuilt out of the write-ahead log. (Subsumed by
+/// [`no_duplicates`], but reported under its own name so a WAL-replay bug
+/// is attributed to recovery, not to the ordering layer.) Vacuous in cells
+/// without a restart fault.
+pub fn restart_no_double_delivery(o: &ScenarioOutcome) -> Result<(), String> {
+    for i in o.restarted() {
+        let mut seen = HashSet::new();
+        for v in &o.outputs[i] {
+            if !seen.insert(v.id) {
+                return Err(format!(
+                    "restarted p{i} delivered {} twice (WAL replay lost the delivered set?)",
+                    v.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Total order across a restart: the full delivered sequence of a restarted
+/// process (pre-crash prefix + post-recovery tail) must stay
+/// prefix-consistent with every fault-free process. Vacuous without a
+/// restart fault.
+pub fn restart_prefix_consistency(o: &ScenarioOutcome) -> Result<(), String> {
+    for i in o.restarted() {
+        for p in &o.correct {
+            let (or, oc) = (&o.outputs[i], &o.outputs[p.index()]);
+            let common = or.len().min(oc.len());
+            for k in 0..common {
+                if or[k].id != oc[k].id {
+                    return Err(format!(
+                        "restarted p{i} forked from {p} at position {k}: {} vs {}",
+                        or[k].id, oc[k].id
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recovery liveness: when the fault plan leaves a guild (so the run makes
+/// progress at all), every restarted process must have executed its
+/// recovery path and delivered at least one vertex by quiescence — crashing
+/// forever is exactly what the storage subsystem is meant to prevent.
+/// Vacuous without a restart fault, without a surviving guild, or for a
+/// restart process whose crash window never opened (`crash_at` beyond the
+/// deliveries it saw): such a process simply ran correctly throughout.
+pub fn restart_liveness(o: &ScenarioOutcome) -> Result<(), String> {
+    if o.guild.is_none() || !o.quiescent {
+        return Ok(());
+    }
+    for i in o.restarted() {
+        if !o.restart_fired[i] {
+            continue; // never crashed: the fault was vacuous this run
+        }
+        if !o.recovered[i] {
+            return Err(format!(
+                "p{i}'s restart fired but the process never rebuilt itself from its log"
+            ));
+        }
+        if o.outputs[i].is_empty() {
+            return Err(format!(
+                "restarted p{i} recovered but delivered nothing in {} waves",
+                o.scenario.waves
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// WAL/state equivalence: replaying a process's final write-ahead log must
+/// reproduce its live state exactly — same DAG vertices, same delivered
+/// set, same commit log, same decided wave. This is the checker that makes
+/// "the log is the state" an audited invariant rather than a design hope.
+/// Vacuous for processes without storage.
+pub fn wal_state_equivalence(o: &ScenarioOutcome) -> Result<(), String> {
+    for p in &o.honest {
+        let i = p.index();
+        let Some(replay) = &o.wal_replays[i] else { continue };
+        let replayed = replay.as_ref().map_err(|e| format!("{p}: WAL unreadable: {e}"))?;
+        let dag = o.dags[i].as_ref().expect("honest processes snapshot their DAG");
+        if replayed.dag.len() != dag.len() {
+            return Err(format!(
+                "{p}: WAL replays to {} vertices but the live DAG holds {}",
+                replayed.dag.len(),
+                dag.len()
+            ));
+        }
+        for r in 1..=dag.max_round().unwrap_or(0) {
+            for v in dag.vertices_in_round(r) {
+                if replayed.dag.get(v.id()) != Some(v) {
+                    return Err(format!("{p}: {} differs between WAL and live DAG", v.id()));
+                }
+            }
+        }
+        let committer =
+            o.committers[i].as_ref().expect("honest processes snapshot their committer");
+        if replayed.commit_log != committer.log() {
+            return Err(format!("{p}: WAL commit log differs from the live one"));
+        }
+        if replayed.decided_wave != committer.decided_wave() {
+            return Err(format!(
+                "{p}: WAL decided wave {} vs live {}",
+                replayed.decided_wave,
+                committer.decided_wave()
+            ));
+        }
+        let live: std::collections::BTreeSet<VertexId> = committer.delivered().collect();
+        if replayed.delivered != live {
+            return Err(format!(
+                "{p}: WAL delivered set ({}) differs from live ({})",
+                replayed.delivered.len(),
+                live.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Panics unless the output sequences are pairwise prefix-consistent — the
 /// drop-in replacement for the helper the integration tests used to
 /// copy-paste.
@@ -459,6 +589,42 @@ mod tests {
             .waves(5);
             run_and_check_all(&s).unwrap_or_else(|e| panic!("{e}"));
         }
+    }
+
+    #[test]
+    fn restart_cell_passes_the_standard_suite_and_records_recovery() {
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none().with(1, Fault::Restart { crash_at: 120, recover_at: 900 }),
+            SchedulerSpec::Random,
+            4,
+        )
+        .waves(5);
+        let outcome = run_and_check_all(&s).unwrap_or_else(|e| panic!("{e}"));
+        assert!(outcome.recovered[1], "restart must actually fire");
+        assert!(outcome.wal_replays[1].is_some(), "restarted process carries a WAL");
+        assert!(outcome.wal_replays[0].is_none(), "always-up processes carry none");
+        assert!(!outcome.outputs[1].is_empty(), "recovered process delivers");
+        let stats = outcome.wal_stats[1].expect("stats for the WAL-equipped process");
+        assert!(stats.records_appended > 0);
+    }
+
+    #[test]
+    fn unfired_restart_window_is_vacuous_not_a_violation() {
+        // crash_at far beyond the run's deliveries: the process never
+        // crashes, runs correctly throughout, and the suite must pass with
+        // the restart fault recorded as vacuous.
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none().with(1, Fault::Restart { crash_at: 100_000, recover_at: 200_000 }),
+            SchedulerSpec::Random,
+            4,
+        )
+        .waves(4);
+        let outcome = run_and_check_all(&s).unwrap_or_else(|e| panic!("{e}"));
+        assert!(!outcome.restart_fired[1], "crash window must not have opened");
+        assert!(!outcome.recovered[1]);
+        assert!(!outcome.outputs[1].is_empty(), "it simply ran correctly");
     }
 
     #[test]

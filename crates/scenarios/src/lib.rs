@@ -10,14 +10,22 @@
 //!
 //! * [`Scenario`] — a plain-data descriptor of one execution: a
 //!   [`TopologySpec`] (seed-replayable topology family), a [`FaultPlan`]
-//!   (crash / mid-run crash / mute / Byzantine assignments), a
-//!   [`SchedulerSpec`] (delivery adversary) and a seed;
+//!   (crash / mid-run crash / mute / crash-restart / Byzantine
+//!   assignments), a [`SchedulerSpec`] (delivery adversary) and a seed;
 //! * [`ScenarioOutcome`] — everything an execution observably produced:
-//!   per-process outputs, commit logs, DAG snapshots, metrics, the guild;
+//!   per-process outputs, commit logs, DAG snapshots, WAL replays, metrics,
+//!   the guild;
 //! * [`checks`] — invariant checkers over outcomes: total-order prefix
 //!   consistency, validity/no-fabrication, DAG well-formedness,
-//!   guild-liveness, coin-consistent commit logs, same-seed determinism;
+//!   guild-liveness, coin-consistent commit logs, same-seed determinism,
+//!   and the crash-recovery suite (no double delivery across a restart,
+//!   restart prefix consistency, restart liveness, WAL/state equivalence);
 //! * [`Matrix`] — cross-product sweeps with per-cell pass/fail reporting.
+//!
+//! The [`Fault::Restart`] axis equips a process with an `asym-storage`
+//! write-ahead log, crashes it mid-run, and restarts it from that log: the
+//! recovered process must rejoin, catch up and keep its delivered sequence
+//! a prefix-consistent, duplicate-free match with everyone else.
 //!
 //! Every failure prints the exact `(topology, fault plan, scheduler, seed)`
 //! tuple; [`replay`] re-executes it bit-for-bit.

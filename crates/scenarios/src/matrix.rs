@@ -159,11 +159,11 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// The curated tier-1 sub-matrix: every topology family, the five core
-    /// fault kinds (none, crash, mid-run crash, mute, Byzantine
-    /// equivocation), two scheduler families, two seeds. Small enough for
-    /// `cargo test`, wide enough that each axis is exercised against each
-    /// other at least once.
+    /// The curated tier-1 sub-matrix: every topology family, the six core
+    /// fault kinds (none, crash, mid-run crash, mute, crash-restart,
+    /// Byzantine equivocation), two scheduler families, two seeds. Small
+    /// enough for `cargo test`, wide enough that each axis is exercised
+    /// against each other at least once.
     pub fn smoke() -> Self {
         Matrix {
             topologies: vec![
@@ -177,6 +177,7 @@ impl Matrix {
                 FaultPlan::crash_from_start([3]),
                 FaultPlan::none().with(1, Fault::CrashAfter(150)),
                 FaultPlan::none().with(2, Fault::Mute),
+                FaultPlan::none().with(1, Fault::Restart { crash_at: 120, recover_at: 900 }),
                 FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
             ],
             schedulers: vec![SchedulerSpec::Random, SchedulerSpec::Fifo],
@@ -188,8 +189,11 @@ impl Matrix {
     }
 
     /// The full CI sweep: more sizes per family, all three Byzantine
-    /// attacks, combined fault kinds, a guild-destroying plan (safety-only
-    /// cells), and all five scheduler families over three seeds.
+    /// attacks (single and multi-attacker, crossed against *every*
+    /// scheduler family including Partition and TargetedDelay), combined
+    /// fault kinds, crash-restart plans, a guild-destroying plan
+    /// (safety-only cells), and all five scheduler families over three
+    /// seeds.
     pub fn full() -> Self {
         Matrix {
             topologies: vec![
@@ -212,6 +216,21 @@ impl Matrix {
                 FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
                 FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::BogusStrongEdges)),
                 FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::ConfirmFlood)),
+                // Crash-restart: process 1 loses its in-memory state mid-run
+                // and rejoins from its write-ahead log.
+                FaultPlan::none().with(1, Fault::Restart { crash_at: 150, recover_at: 1200 }),
+                // Restart racing a permanent crash (guild-destroying on the
+                // small topologies — those cells are safety-only).
+                FaultPlan::crash_from_start([3])
+                    .with(1, Fault::Restart { crash_at: 200, recover_at: 1500 }),
+                // Multi-attacker: two equivocators from different identities.
+                FaultPlan::none()
+                    .with(2, Fault::Byzantine(ByzAttack::EquivocateVertices))
+                    .with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
+                // Colluders: an equivocator plus a mute process.
+                FaultPlan::none()
+                    .with(2, Fault::Mute)
+                    .with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
                 // Guild-destroying: beyond-threshold crashes — safety-only.
                 FaultPlan::crash_from_start([1, 2]),
             ],
@@ -327,6 +346,44 @@ mod tests {
         assert!(m.fault_plans.len() >= 3, "≥3 fault plans");
         assert!(m.schedulers.len() >= 2, "≥2 schedulers");
         assert!(m.seeds.len() >= 2, "multiple seeds");
+        assert!(
+            m.fault_plans.iter().any(|p| p.restarts().next().is_some()),
+            "tier-1 matrix must sweep the crash-restart axis"
+        );
+    }
+
+    #[test]
+    fn full_matrix_crosses_attacks_with_every_scheduler_family() {
+        // The ROADMAP once listed "Byzantine × Partition / TargetedDelay"
+        // and "multi-attacker plans" as uncovered; pin the coverage so it
+        // cannot silently regress.
+        let m = Matrix::full();
+        let cells = m.scenarios();
+        for scheduler in ["partition", "targeted-delay", "fifo", "random", "latency"] {
+            assert!(
+                cells.iter().any(|s| {
+                    s.scheduler.name() == scheduler && s.faults.byzantine().next().is_some()
+                }),
+                "no Byzantine cell under the {scheduler} scheduler"
+            );
+            assert!(
+                cells.iter().any(|s| {
+                    s.scheduler.name() == scheduler && s.faults.restarts().next().is_some()
+                }),
+                "no crash-restart cell under the {scheduler} scheduler"
+            );
+        }
+        assert!(
+            cells.iter().any(|s| s.faults.byzantine().count() >= 2),
+            "no multi-attacker cell in the full matrix"
+        );
+        assert!(
+            cells.iter().any(|s| {
+                s.faults.byzantine().next().is_some()
+                    && s.faults.assignments().iter().any(|(_, f)| matches!(f, Fault::Mute))
+            }),
+            "no equivocator+mute colluder cell in the full matrix"
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The scenario runner: descriptor in, fully-observed execution out.
 
-use asym_core::{AsymDagRider, Block, OrderedVertex, RiderConfig, RiderMetrics, WaveCommitter};
+use asym_core::{
+    AsymDagRider, Block, DagLog, OrderedVertex, RiderConfig, RiderMetrics, WaveCommitter,
+};
 use asym_dag::{DagStore, VertexId, WaveId};
 use asym_quorum::topology::{Topology, TopologySpec};
 use asym_quorum::{maximal_guild, ProcessId, ProcessSet};
 use asym_sim::{NetStats, Simulation};
+use asym_storage::{RecoveredState, StorageBackend, WalStats};
 
 use crate::byzantine::{ByzProcess, Party};
 use crate::pid;
@@ -67,6 +70,21 @@ pub struct ScenarioOutcome {
     pub dags: Vec<Option<DagStore<Block>>>,
     /// Protocol counters (default for Byzantine processes).
     pub metrics: Vec<RiderMetrics>,
+    /// For every WAL-equipped (restart-faulted) process: the state its
+    /// final write-ahead log replays to — what the `wal_state_equivalence`
+    /// checker compares against the live snapshots — or the storage error
+    /// as a string. `None` for processes without storage.
+    pub wal_replays: Vec<Option<Result<RecoveredState<Block>, String>>>,
+    /// WAL activity counters for WAL-equipped processes.
+    pub wal_stats: Vec<Option<WalStats>>,
+    /// Whether each process actually executed its recovery path (rebuilt
+    /// itself from its log).
+    pub recovered: Vec<bool>,
+    /// Whether the engine fired a restart for each process — `false` for a
+    /// [`Fault::Restart`] process whose crash window never opened (the run
+    /// ended before `crash_at` deliveries), in which case the fault was
+    /// vacuous and `recovered` is legitimately `false` too.
+    pub restart_fired: Vec<bool>,
     /// Blocks injected per process, in injection order.
     pub injected: Vec<Vec<Block>>,
     /// Processes running the honest protocol (everyone but Byzantine —
@@ -93,6 +111,11 @@ impl ScenarioOutcome {
     pub fn max_commits(&self) -> usize {
         self.honest.iter().map(|p| self.commit_logs[p.index()].len()).max().unwrap_or(0)
     }
+
+    /// Indices of the processes assigned a [`Fault::Restart`].
+    pub fn restarted(&self) -> Vec<usize> {
+        self.scenario.faults.restarts().collect()
+    }
 }
 
 impl Scenario {
@@ -118,15 +141,32 @@ impl Scenario {
         let byz: Vec<Option<crate::ByzAttack>> = (0..n)
             .map(|i| self.faults.byzantine().find(|(b, _)| *b == i).map(|(_, a)| a))
             .collect();
+        let restartable: Vec<bool> = {
+            let mut r = vec![false; n];
+            for i in self.faults.restarts() {
+                r[i] = true;
+            }
+            r
+        };
         let procs: Vec<Party> = (0..n)
             .map(|i| match byz[i] {
                 Some(attack) => Party::Byzantine(ByzProcess::new(pid(i), n, attack)),
-                None => Party::Honest(AsymDagRider::new(
-                    pid(i),
-                    topology.quorums.clone(),
-                    self.coin_seed(),
-                    config,
-                )),
+                None => {
+                    let mut rider = AsymDagRider::new(
+                        pid(i),
+                        topology.quorums.clone(),
+                        self.coin_seed(),
+                        config,
+                    );
+                    if restartable[i] {
+                        // A small snapshot cadence keeps the compaction
+                        // path exercised by every restart cell.
+                        rider = rider.with_storage(
+                            DagLog::new(StorageBackend::in_memory()).with_snapshot_every(64),
+                        );
+                    }
+                    Party::Honest(rider)
+                }
             })
             .collect();
 
@@ -163,6 +203,9 @@ impl Scenario {
         let mut committers = Vec::with_capacity(n);
         let mut dags = Vec::with_capacity(n);
         let mut metrics = Vec::with_capacity(n);
+        let mut wal_replays = Vec::with_capacity(n);
+        let mut wal_stats = Vec::with_capacity(n);
+        let mut recovered = Vec::with_capacity(n);
         for i in 0..n {
             match sim.process(pid(i)).as_honest() {
                 Some(r) => {
@@ -170,12 +213,18 @@ impl Scenario {
                     committers.push(Some(r.committer().clone()));
                     dags.push(Some(r.dag().clone()));
                     metrics.push(r.metrics());
+                    wal_replays.push(r.replay_storage().map(|res| res.map_err(|e| e.to_string())));
+                    wal_stats.push(r.storage().map(|l| l.stats()));
+                    recovered.push(r.has_recovered());
                 }
                 None => {
                     commit_logs.push(Vec::new());
                     committers.push(None);
                     dags.push(None);
                     metrics.push(RiderMetrics::default());
+                    wal_replays.push(None);
+                    wal_stats.push(None);
+                    recovered.push(false);
                 }
             }
         }
@@ -193,6 +242,10 @@ impl Scenario {
             committers,
             dags,
             metrics,
+            wal_replays,
+            wal_stats,
+            recovered,
+            restart_fired: (0..n).map(|i| sim.was_recovered(pid(i))).collect(),
             injected,
             honest,
             correct: faulty.complement(n),

@@ -20,6 +20,16 @@ pub enum Fault {
     CrashAfter(u64),
     /// Receives everything but all its sends vanish (send-omission).
     Mute,
+    /// Crashes after `crash_at` deliveries, then restarts at global step
+    /// `recover_at` (or at quiescence, whichever comes first) and rebuilds
+    /// itself from its write-ahead log — the crash-*recovery* axis. The
+    /// runner attaches an in-memory WAL to the process automatically.
+    Restart {
+        /// Deliveries the process handles before crashing.
+        crash_at: u64,
+        /// Global delivery step at which it restarts from its log.
+        recover_at: u64,
+    },
     /// Runs a protocol-level attack instead of the honest state machine.
     Byzantine(ByzAttack),
 }
@@ -32,6 +42,9 @@ impl Fault {
             Fault::Crash => FaultMode::CrashedFromStart,
             Fault::CrashAfter(k) => FaultMode::CrashAfter(*k),
             Fault::Mute => FaultMode::Mute,
+            Fault::Restart { crash_at, recover_at } => {
+                FaultMode::RestartAfter { crash_at: *crash_at, recover_at: *recover_at }
+            }
             Fault::Byzantine(_) => FaultMode::Correct,
         }
     }
@@ -43,6 +56,9 @@ impl core::fmt::Display for Fault {
             Fault::Crash => write!(f, "crash"),
             Fault::CrashAfter(k) => write!(f, "crash-after-{k}"),
             Fault::Mute => write!(f, "mute"),
+            Fault::Restart { crash_at, recover_at } => {
+                write!(f, "restart({crash_at}..{recover_at})")
+            }
             Fault::Byzantine(a) => write!(f, "byz-{a}"),
         }
     }
@@ -109,6 +125,15 @@ impl FaultPlan {
     pub fn byzantine(&self) -> impl Iterator<Item = (usize, ByzAttack)> + '_ {
         self.assignments.iter().filter_map(|(i, f)| match f {
             Fault::Byzantine(a) => Some((*i, *a)),
+            _ => None,
+        })
+    }
+
+    /// The crash-restart assignments only — the processes the runner equips
+    /// with a write-ahead log.
+    pub fn restarts(&self) -> impl Iterator<Item = usize> + '_ {
+        self.assignments.iter().filter_map(|(i, f)| match f {
+            Fault::Restart { .. } => Some(*i),
             _ => None,
         })
     }
@@ -309,6 +334,9 @@ impl Scenario {
                         Fault::Crash => "Fault::Crash".to_string(),
                         Fault::CrashAfter(k) => format!("Fault::CrashAfter({k})"),
                         Fault::Mute => "Fault::Mute".to_string(),
+                        Fault::Restart { crash_at, recover_at } => format!(
+                            "Fault::Restart {{ crash_at: {crash_at}, recover_at: {recover_at} }}"
+                        ),
                         Fault::Byzantine(a) => format!("Fault::Byzantine(ByzAttack::{a:?})"),
                     };
                     format!("({i}, {fault})")
@@ -378,6 +406,28 @@ mod tests {
         assert_eq!(plan.assignments()[0].1.network_mode(), FaultMode::Correct);
         assert_eq!(plan.byzantine().count(), 1);
         assert_eq!(plan.faulty_set(), ProcessSet::from_indices([2]));
+    }
+
+    #[test]
+    fn restart_fault_lowers_to_restart_after_and_reproduces() {
+        let plan = FaultPlan::none().with(2, Fault::Restart { crash_at: 150, recover_at: 900 });
+        assert_eq!(
+            plan.assignments()[0].1.network_mode(),
+            FaultMode::RestartAfter { crash_at: 150, recover_at: 900 }
+        );
+        assert_eq!(plan.restarts().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(plan.to_string(), "restart(150..900)(p2)");
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            plan,
+            SchedulerSpec::Fifo,
+            1,
+        );
+        assert!(
+            s.repro().contains("Fault::Restart { crash_at: 150, recover_at: 900 }"),
+            "{}",
+            s.repro()
+        );
     }
 
     #[test]

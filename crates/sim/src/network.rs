@@ -28,6 +28,18 @@ pub enum FaultMode {
     CrashAfter(u64),
     /// Receives messages but all its sends are dropped (send-omission).
     Mute,
+    /// Crashes like [`FaultMode::CrashAfter`]`(crash_at)`, but restarts once
+    /// the simulation has executed `recover_at` delivery steps (or at
+    /// quiescence, if the network drains first): the engine then invokes
+    /// [`Protocol::on_recover`], which is where a persistence-backed
+    /// protocol replays its log and rejoins. Messages sent to or by the
+    /// process during the down window are dropped, exactly as for a crash.
+    RestartAfter {
+        /// Deliveries this process handles before crashing.
+        crash_at: u64,
+        /// Global delivery step at which the process restarts.
+        recover_at: u64,
+    },
 }
 
 /// Counters describing an execution; useful for message-complexity
@@ -86,6 +98,8 @@ pub struct Simulation<P: Protocol, S> {
     nodes: Vec<P>,
     faults: Vec<FaultMode>,
     deliveries: Vec<u64>,
+    recovered: Vec<bool>,
+    steps_done: u64,
     pending: Vec<InFlight<P::Msg>>,
     scheduler: S,
     now: Step,
@@ -109,6 +123,8 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
             nodes: processes,
             faults: vec![FaultMode::Correct; n],
             deliveries: vec![0; n],
+            recovered: vec![false; n],
+            steps_done: 0,
             pending: Vec::new(),
             scheduler,
             now: 0,
@@ -159,15 +175,29 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
         self.stats
     }
 
-    /// The set of processes that are (still) correct right now.
+    /// The set of processes that are (still) correct right now. A
+    /// [`FaultMode::RestartAfter`] process counts as correct outside its
+    /// down window (before the crash, and again after recovery).
     pub fn correct_processes(&self) -> ProcessSet {
         (0..self.n())
             .filter(|i| match self.faults[*i] {
                 FaultMode::Correct => true,
                 FaultMode::CrashedFromStart | FaultMode::Mute => false,
                 FaultMode::CrashAfter(k) => self.deliveries[*i] < k,
+                FaultMode::RestartAfter { crash_at, .. } => {
+                    self.recovered[*i] || self.deliveries[*i] < crash_at
+                }
             })
             .collect()
+    }
+
+    /// `true` if a [`FaultMode::RestartAfter`] process's crash window
+    /// actually opened and the engine fired its recovery. Stays `false`
+    /// when the run ended before the process reached `crash_at` deliveries
+    /// (the fault was vacuous) — harnesses use this to tell "never crashed"
+    /// from "crashed and restarted".
+    pub fn was_recovered(&self, p: ProcessId) -> bool {
+        self.recovered[p.index()]
     }
 
     /// Immutable access to a process's state (observer inspection).
@@ -202,6 +232,52 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
             FaultMode::Correct | FaultMode::Mute => false,
             FaultMode::CrashedFromStart => true,
             FaultMode::CrashAfter(k) => self.deliveries[i] >= k,
+            FaultMode::RestartAfter { crash_at, .. } => {
+                !self.recovered[i] && self.deliveries[i] >= crash_at
+            }
+        }
+    }
+
+    /// Fires [`Protocol::on_recover`] for every crashed [`FaultMode::RestartAfter`]
+    /// process whose `recover_at` step has been reached.
+    fn fire_due_recoveries(&mut self) {
+        for i in 0..self.n() {
+            let FaultMode::RestartAfter { crash_at, recover_at } = self.faults[i] else {
+                continue;
+            };
+            if self.recovered[i] || self.deliveries[i] < crash_at || self.steps_done < recover_at {
+                continue;
+            }
+            self.recover_process(i);
+        }
+    }
+
+    fn recover_process(&mut self, i: usize) {
+        self.recovered[i] = true;
+        let mut sends = Vec::new();
+        let n = self.n();
+        let mut ctx =
+            Context::new(ProcessId::new(i), n, self.now, &mut sends, &mut self.outputs[i]);
+        self.nodes[i].on_recover(&mut ctx);
+        self.enqueue(i, sends);
+    }
+
+    /// If the network drained while a crashed restartable process is still
+    /// waiting for its `recover_at` step, fast-forward and restart it now —
+    /// "eventually the operator brings the node back". Returns `true` if a
+    /// recovery fired.
+    fn force_pending_recovery(&mut self) -> bool {
+        let due = (0..self.n()).find(|i| {
+            matches!(self.faults[*i], FaultMode::RestartAfter { .. })
+                && !self.recovered[*i]
+                && self.is_silent(*i)
+        });
+        match due {
+            Some(i) => {
+                self.recover_process(i);
+                true
+            }
+            None => false,
         }
     }
 
@@ -285,13 +361,18 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
     }
 
     /// Delivers one message chosen by the scheduler. Returns `false` if the
-    /// scheduler starved (no deliverable message).
+    /// scheduler starved (no deliverable message) and no process restart is
+    /// pending.
     pub fn step(&mut self) -> bool {
         self.start();
+        self.fire_due_recoveries();
         let Some(idx) = self.scheduler.next(&self.pending, self.now) else {
-            return false;
+            // A drained network still wakes crashed-but-restartable
+            // processes; their recovery sends usually refill it.
+            return self.force_pending_recovery();
         };
         let m = self.pending.swap_remove(idx);
+        self.steps_done += 1;
         self.now = self.scheduler.delivery_time(&m, self.now);
         let i = m.to.index();
         if self.is_silent(i) {
@@ -324,6 +405,11 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
 
     fn step_would_progress(&mut self) -> bool {
         self.scheduler.next(&self.pending, self.now).is_some()
+            || (0..self.n()).any(|i| {
+                matches!(self.faults[i], FaultMode::RestartAfter { .. })
+                    && !self.recovered[i]
+                    && self.is_silent(i)
+            })
     }
 
     /// Runs until `pred` holds (checked after every delivery) or the budget
@@ -354,7 +440,16 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
     pub fn flush_starved(&mut self, max_steps: u64) -> RunReport {
         self.start();
         let mut steps = 0;
-        while steps < max_steps && !self.pending.is_empty() {
+        while steps < max_steps {
+            // Restartable processes recover during a flush exactly as they
+            // do in `step`: on schedule, or forced once the bag drains.
+            self.fire_due_recoveries();
+            if self.pending.is_empty() && !self.force_pending_recovery() {
+                break;
+            }
+            if self.pending.is_empty() {
+                continue; // a recovery fired but sent nothing
+            }
             let idx = self
                 .pending
                 .iter()
@@ -364,6 +459,7 @@ impl<P: Protocol, S: Scheduler<P::Msg>> Simulation<P, S> {
                 .expect("pending is non-empty");
             let m = self.pending.swap_remove(idx);
             self.now += 1;
+            self.steps_done += 1;
             let i = m.to.index();
             if self.is_silent(i) {
                 self.stats.dropped += 1;
@@ -484,6 +580,76 @@ mod tests {
         assert_eq!(sim.outputs(ProcessId::new(0)).len(), 1, "processed one delivery only");
         assert!(!sim.correct_processes().contains(ProcessId::new(0)));
         assert!(sim.correct_processes().contains(ProcessId::new(1)));
+    }
+
+    /// Gossips `1` on start, outputs everything heard, and broadcasts a
+    /// recovery marker `99` when restarted.
+    #[derive(Debug)]
+    struct Restartable;
+
+    impl Protocol for Restartable {
+        type Msg = u32;
+        type Input = u32;
+        type Output = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32, u32>) {
+            ctx.broadcast(1);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Context<'_, u32, u32>) {
+            ctx.output(msg);
+        }
+
+        fn on_recover(&mut self, ctx: &mut Context<'_, u32, u32>) {
+            ctx.broadcast(99);
+        }
+    }
+
+    #[test]
+    fn restart_after_crash_window_rejoins() {
+        let mut sim = Simulation::new(vec![Restartable, Restartable, Restartable], scheduler::Fifo)
+            .with_fault(ProcessId::new(0), FaultMode::RestartAfter { crash_at: 1, recover_at: 4 });
+        let report = sim.run(1_000);
+        assert!(report.quiescent);
+        // p0 heard its own 1, crashed (dropping p1's 1), recovered at step 4
+        // and then heard p2's 1 plus its own recovery marker.
+        assert_eq!(sim.outputs(ProcessId::new(0)), &[1, 1, 99]);
+        // The live processes saw all three 1s plus the marker.
+        assert_eq!(sim.outputs(ProcessId::new(1)), &[1, 1, 1, 99]);
+        assert!(sim.stats().dropped > 0, "down-window deliveries are dropped");
+        assert!(sim.correct_processes().contains(ProcessId::new(0)), "recovered = correct");
+    }
+
+    #[test]
+    fn recovery_is_forced_at_quiescence_if_network_drains_first() {
+        // recover_at far beyond the traffic: the drained network must still
+        // bring the process back ("the operator eventually restarts it").
+        let mut sim = Simulation::new(vec![Restartable, Restartable, Restartable], scheduler::Fifo)
+            .with_fault(
+                ProcessId::new(2),
+                FaultMode::RestartAfter { crash_at: 0, recover_at: 1_000_000 },
+            );
+        let report = sim.run(1_000);
+        assert!(report.quiescent);
+        let out2 = sim.outputs(ProcessId::new(2));
+        assert_eq!(out2, &[99], "everything before the forced restart was dropped");
+        assert!(sim.outputs(ProcessId::new(0)).contains(&99));
+    }
+
+    #[test]
+    fn restart_is_deterministic() {
+        let run = || {
+            let mut sim = Simulation::new(
+                vec![Restartable, Restartable, Restartable],
+                scheduler::Random::new(7),
+            )
+            .with_fault(ProcessId::new(1), FaultMode::RestartAfter { crash_at: 1, recover_at: 5 });
+            let report = sim.run(1_000);
+            let outs: Vec<Vec<u32>> =
+                (0..3).map(|i| sim.outputs(ProcessId::new(i)).to_vec()).collect();
+            (report, outs)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

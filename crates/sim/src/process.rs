@@ -48,6 +48,19 @@ pub trait Protocol {
         msg: Self::Msg,
         ctx: &mut Context<'_, Self::Msg, Self::Output>,
     );
+
+    /// Invoked when this process restarts after a
+    /// [`FaultMode::RestartAfter`](crate::FaultMode::RestartAfter) crash
+    /// window.
+    ///
+    /// A crash destroys in-memory state: implementations modelling real
+    /// recovery must rebuild themselves from durable storage here (and may
+    /// send catch-up requests through `ctx`). The default keeps the
+    /// in-memory state as-is — "the process was merely unreachable" — which
+    /// is the right semantics for protocols without a persistence layer.
+    fn on_recover(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
 }
 
 /// Destination of an emitted message.

@@ -1,0 +1,306 @@
+//! The DAG event vocabulary and its binary codec.
+//!
+//! A process's durable state is an append-only sequence of [`DagEvent`]s:
+//! every vertex inserted into the local DAG, every wave whose CONFIRM
+//! quorum was observed (`tReady`), every wave decided, and every block
+//! atomically delivered. Replaying the sequence rebuilds the DAG, the
+//! delivered set and the commit log exactly — which is what makes a crashed
+//! process able to rejoin without ever delivering a block twice.
+//!
+//! The codec is a hand-rolled little-endian binary format (no serde — the
+//! workspace builds offline). Blocks are opaque to this crate; the carrying
+//! protocol supplies a [`BlockCodec`] for its block type.
+
+use asym_dag::{Round, Vertex, VertexId, WaveId};
+use asym_quorum::{ProcessId, ProcessSet};
+
+/// En/decoding of the block payload a vertex carries.
+///
+/// Implemented by the consensus crate for its `Block` type; this crate
+/// ships an implementation for `Vec<u8>` (raw bytes) used by its own tests
+/// and benches.
+pub trait BlockCodec: Sized {
+    /// Appends the canonical byte encoding of `self` to `out`.
+    fn encode_block(&self, out: &mut Vec<u8>);
+
+    /// Decodes a block from exactly `bytes` (`None` on malformed input).
+    fn decode_block(bytes: &[u8]) -> Option<Self>;
+}
+
+impl BlockCodec for Vec<u8> {
+    fn encode_block(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+
+    fn decode_block(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+/// One durable state transition of a DAG consensus process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagEvent<B> {
+    /// A vertex entered the local DAG (its full content, so the DAG can be
+    /// rebuilt without the network).
+    VertexInserted(Vertex<B>),
+    /// CONFIRMs from one of this process's quorums were observed for
+    /// `wave` — the `tReady` milestone of the Algorithm-5 control ladder.
+    WaveConfirmed {
+        /// The confirmed wave.
+        wave: WaveId,
+    },
+    /// The wave was decided with `leader` (one commit-log entry).
+    WaveDecided {
+        /// The decided wave.
+        wave: WaveId,
+        /// Its coin-elected leader vertex.
+        leader: VertexId,
+    },
+    /// The block carried by `id` was atomically delivered.
+    BlockDelivered {
+        /// The delivered vertex.
+        id: VertexId,
+        /// The wave whose commit ordered it.
+        wave: WaveId,
+    },
+}
+
+const TAG_VERTEX: u8 = 1;
+const TAG_CONFIRMED: u8 = 2;
+const TAG_DECIDED: u8 = 3;
+const TAG_DELIVERED: u8 = 4;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vid(out: &mut Vec<u8>, id: VertexId) {
+    put_u64(out, id.round);
+    put_u64(out, id.source.index() as u64);
+}
+
+fn put_set(out: &mut Vec<u8>, set: &ProcessSet) {
+    put_u64(out, set.len() as u64);
+    for p in set {
+        put_u64(out, p.index() as u64);
+    }
+}
+
+/// A bounded little-endian reader over a payload slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.pos..end)?.try_into().ok()?);
+        self.pos = end;
+        Some(v)
+    }
+
+    fn vid(&mut self) -> Option<VertexId> {
+        let round = self.u64()?;
+        let source = usize::try_from(self.u64()?).ok()?;
+        Some(VertexId::new(round, ProcessId::new(source)))
+    }
+
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+}
+
+impl<B: BlockCodec> DagEvent<B> {
+    /// Encodes this event as one WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            DagEvent::VertexInserted(v) => {
+                out.push(TAG_VERTEX);
+                put_u64(&mut out, v.source().index() as u64);
+                put_u64(&mut out, v.round());
+                put_set(&mut out, v.strong_edges());
+                put_u64(&mut out, v.weak_edges().len() as u64);
+                for w in v.weak_edges() {
+                    put_vid(&mut out, *w);
+                }
+                let mut block = Vec::new();
+                v.block().encode_block(&mut block);
+                put_u64(&mut out, block.len() as u64);
+                out.extend_from_slice(&block);
+            }
+            DagEvent::WaveConfirmed { wave } => {
+                out.push(TAG_CONFIRMED);
+                put_u64(&mut out, *wave);
+            }
+            DagEvent::WaveDecided { wave, leader } => {
+                out.push(TAG_DECIDED);
+                put_u64(&mut out, *wave);
+                put_vid(&mut out, *leader);
+            }
+            DagEvent::BlockDelivered { id, wave } => {
+                out.push(TAG_DELIVERED);
+                put_vid(&mut out, *id);
+                put_u64(&mut out, *wave);
+            }
+        }
+        out
+    }
+
+    /// Decodes one event from exactly `payload` — `None` on any structural
+    /// problem (unknown tag, short field, trailing bytes, or a vertex
+    /// violating the vertex invariants).
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(payload);
+        let event = match r.u8()? {
+            TAG_VERTEX => {
+                let source = usize::try_from(r.u64()?).ok()?;
+                let round: Round = r.u64()?;
+                let strong_len = usize::try_from(r.u64()?).ok()?;
+                // Each member costs ≥8 bytes; reject absurd counts early.
+                if strong_len > r.remaining() / 8 {
+                    return None;
+                }
+                let mut strong = ProcessSet::new();
+                for _ in 0..strong_len {
+                    strong.insert(ProcessId::new(usize::try_from(r.u64()?).ok()?));
+                }
+                if strong.len() != strong_len {
+                    return None; // duplicate member: not canonical
+                }
+                let weak_len = usize::try_from(r.u64()?).ok()?;
+                if weak_len > r.remaining() / 16 {
+                    return None;
+                }
+                let mut weak = Vec::with_capacity(weak_len);
+                for _ in 0..weak_len {
+                    weak.push(r.vid()?);
+                }
+                let block_len = usize::try_from(r.u64()?).ok()?;
+                if block_len > r.remaining() {
+                    return None;
+                }
+                let block = B::decode_block(r.take(block_len)?)?;
+                // Re-check the Vertex constructor invariants so hostile
+                // bytes cannot reach its panics.
+                if round == 0 && (!strong.is_empty() || !weak.is_empty()) {
+                    return None;
+                }
+                if weak.iter().any(|w| w.round + 1 >= round) {
+                    return None;
+                }
+                DagEvent::VertexInserted(Vertex::new(
+                    ProcessId::new(source),
+                    round,
+                    block,
+                    strong,
+                    weak,
+                ))
+            }
+            TAG_CONFIRMED => DagEvent::WaveConfirmed { wave: r.u64()? },
+            TAG_DECIDED => DagEvent::WaveDecided { wave: r.u64()?, leader: r.vid()? },
+            TAG_DELIVERED => DagEvent::BlockDelivered { id: r.vid()?, wave: r.u64()? },
+            _ => return None,
+        };
+        (r.remaining() == 0).then_some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample_vertex() -> Vertex<Vec<u8>> {
+        Vertex::new(
+            pid(2),
+            5,
+            vec![1, 2, 3],
+            ProcessSet::from_indices([0, 1, 3]),
+            vec![VertexId::new(2, pid(3)), VertexId::new(1, pid(0))],
+        )
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        let events: Vec<DagEvent<Vec<u8>>> = vec![
+            DagEvent::VertexInserted(sample_vertex()),
+            DagEvent::VertexInserted(Vertex::genesis(pid(0), vec![])),
+            DagEvent::WaveConfirmed { wave: 3 },
+            DagEvent::WaveDecided { wave: 2, leader: VertexId::new(5, pid(1)) },
+            DagEvent::BlockDelivered { id: VertexId::new(4, pid(2)), wave: 2 },
+        ];
+        for ev in events {
+            let bytes = ev.encode();
+            assert_eq!(DagEvent::<Vec<u8>>::decode(&bytes), Some(ev));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = DagEvent::<Vec<u8>>::WaveConfirmed { wave: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(DagEvent::<Vec<u8>>::decode(&bytes), None);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = DagEvent::VertexInserted(sample_vertex()).encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                DagEvent::<Vec<u8>>::decode(&bytes[..cut]),
+                None,
+                "decode accepted a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(DagEvent::<Vec<u8>>::decode(&[99, 0, 0]), None);
+        assert_eq!(DagEvent::<Vec<u8>>::decode(&[]), None);
+    }
+
+    #[test]
+    fn invariant_violating_vertex_rejected_not_panicking() {
+        // A round-1 vertex with a weak edge to round 0 violates the weak-edge
+        // invariant; hand-craft its encoding.
+        let mut bytes = vec![1u8]; // TAG_VERTEX
+        for v in [0u64, 1, 0, 1, 0, 0, 0] {
+            // source=0, round=1, strong_len=0, weak_len=1, weak=(r0,p0), block_len=0
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(DagEvent::<Vec<u8>>::decode(&bytes), None);
+    }
+
+    #[test]
+    fn absurd_length_fields_rejected() {
+        let mut bytes = vec![1u8];
+        for v in [0u64, 3, u64::MAX] {
+            // source, round, strong_len = u64::MAX
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(DagEvent::<Vec<u8>>::decode(&bytes), None);
+    }
+}

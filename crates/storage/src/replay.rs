@@ -1,0 +1,416 @@
+//! The typed event log and the recovery protocol's first half: replaying a
+//! WAL back into DAG-consensus state.
+//!
+//! [`EventLog`] is the handle a running process holds: it appends
+//! [`DagEvent`]s, suggests when to compact, and installs snapshots (which
+//! are themselves just compacted event sequences — one codec, one replay
+//! path). [`RecoveredState::replay`] is what a restarted process calls: it
+//! reads snapshot + log, drops a torn tail, rejects corruption, and folds
+//! the surviving events into the DAG, the delivered set, the commit log and
+//! the confirmed-wave set. Replay is idempotent (duplicate events are
+//! skipped), so a crash between "write snapshot" and "truncate log" still
+//! recovers.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+use asym_dag::{DagError, DagStore, Round, VertexId, WaveId};
+use asym_quorum::ProcessId;
+
+use crate::backend::{Storage, StorageError};
+use crate::event::{BlockCodec, DagEvent};
+use crate::wal::{Wal, WalStats};
+
+/// A write-ahead log of [`DagEvent`]s over any [`Storage`] backend.
+///
+/// # Examples
+///
+/// ```
+/// use asym_quorum::ProcessId;
+/// use asym_storage::{DagEvent, EventLog, MemStorage};
+///
+/// let mut log: EventLog<Vec<u8>, MemStorage> = EventLog::new(MemStorage::new());
+/// log.append(&DagEvent::WaveConfirmed { wave: 1 })?;
+/// let state = log.replay(4, ProcessId::new(0), Vec::new())?;
+/// assert!(state.confirmed_waves.contains(&1));
+/// # Ok::<(), asym_storage::StorageError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventLog<B, S> {
+    wal: Wal<S>,
+    _block: PhantomData<fn() -> B>,
+}
+
+impl<B: BlockCodec + Clone, S: Storage> EventLog<B, S> {
+    /// Wraps a backend (default snapshot cadence).
+    pub fn new(backend: S) -> Self {
+        EventLog { wal: Wal::new(backend), _block: PhantomData }
+    }
+
+    /// Overrides the snapshot cadence (`0` disables suggestions).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: usize) -> Self {
+        self.wal = self.wal.with_snapshot_every(every);
+        self
+    }
+
+    /// Appends one event.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] if the backend rejects the write.
+    pub fn append(&mut self, event: &DagEvent<B>) -> Result<(), StorageError> {
+        self.wal.append(&event.encode())
+    }
+
+    /// `true` once enough events accumulated that the owner should compact
+    /// its full state into [`EventLog::install_snapshot`].
+    pub fn should_snapshot(&self) -> bool {
+        self.wal.should_snapshot()
+    }
+
+    /// Installs a snapshot: `events` must be a compacted encoding of the
+    /// owner's *entire* current state, because the log is truncated.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] if the backend rejects the writes.
+    pub fn install_snapshot(&mut self, events: &[DagEvent<B>]) -> Result<(), StorageError> {
+        let encoded: Vec<Vec<u8>> = events.iter().map(DagEvent::encode).collect();
+        self.wal.install_snapshot(&encoded)
+    }
+
+    /// Decodes every persisted event, snapshot first, in append order.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] on checksum mismatch, torn snapshot, or a
+    /// checksummed-valid record that does not decode as an event.
+    pub fn events(&self) -> Result<ReadEvents<B>, StorageError> {
+        let contents = self.wal.read()?;
+        let mut events = Vec::with_capacity(contents.len());
+        for (i, record) in contents.all_records().enumerate() {
+            events.push(DagEvent::decode(record).ok_or_else(|| StorageError::Corrupt {
+                offset: i,
+                detail: "checksummed record is not a valid DagEvent".into(),
+            })?);
+        }
+        Ok(ReadEvents {
+            from_snapshot: contents.snapshot.len(),
+            torn_tail_bytes: contents.torn_tail_bytes,
+            events,
+        })
+    }
+
+    /// Replays the log into recovered state (see [`RecoveredState::replay`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates corruption and I/O errors from [`EventLog::events`].
+    pub fn replay(
+        &self,
+        n: usize,
+        me: ProcessId,
+        genesis: B,
+    ) -> Result<RecoveredState<B>, StorageError> {
+        let read = self.events()?;
+        RecoveredState::replay(&read, n, me, genesis)
+    }
+
+    /// WAL activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// The backend (test hooks: truncation, corruption).
+    pub fn backend_mut(&mut self) -> &mut S {
+        self.wal.backend_mut()
+    }
+
+    /// The backend, read-only.
+    pub fn backend(&self) -> &S {
+        self.wal.backend()
+    }
+}
+
+/// Every decoded event plus provenance counters.
+#[derive(Clone, Debug)]
+pub struct ReadEvents<B> {
+    /// The events, snapshot records first, then the log tail.
+    pub events: Vec<DagEvent<B>>,
+    /// How many of them came from the snapshot area.
+    pub from_snapshot: usize,
+    /// Torn bytes dropped from the end of the log.
+    pub torn_tail_bytes: usize,
+}
+
+/// Consensus state rebuilt from a WAL — the data a restarted process needs
+/// to rejoin without violating safety.
+#[derive(Clone, Debug)]
+pub struct RecoveredState<B> {
+    /// The local DAG, rebuilt vertex by vertex.
+    pub dag: DagStore<B>,
+    /// The highest round in which `me` created a vertex (the round counter
+    /// to resume from).
+    pub own_round: Round,
+    /// Every vertex already atomically delivered — the set that prevents
+    /// double delivery across the restart.
+    pub delivered: BTreeSet<VertexId>,
+    /// The commit log of `(wave, leader)` pairs, in commit order.
+    pub commit_log: Vec<(WaveId, VertexId)>,
+    /// The last decided wave.
+    pub decided_wave: WaveId,
+    /// Waves whose CONFIRM quorum (`tReady`) had been observed.
+    pub confirmed_waves: BTreeSet<WaveId>,
+    /// Total events folded in.
+    pub events_total: usize,
+    /// Events that came from the snapshot area.
+    pub events_from_snapshot: usize,
+    /// Torn bytes dropped from the log tail.
+    pub torn_tail_bytes: usize,
+}
+
+impl<B: BlockCodec + Clone> RecoveredState<B> {
+    /// Folds decoded events into recovered state.
+    ///
+    /// Idempotent per event: duplicate vertex inserts, deliveries, confirms
+    /// and already-decided waves are skipped, so snapshot/log overlap after
+    /// a mid-compaction crash is harmless.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] if a vertex event references a parent that
+    /// no prior event inserted — an append-order violation that a correct
+    /// process can never have written.
+    pub fn replay(
+        read: &ReadEvents<B>,
+        n: usize,
+        me: ProcessId,
+        genesis: B,
+    ) -> Result<Self, StorageError> {
+        let mut state = RecoveredState {
+            dag: DagStore::with_genesis(n, genesis),
+            own_round: 0,
+            delivered: BTreeSet::new(),
+            commit_log: Vec::new(),
+            decided_wave: 0,
+            confirmed_waves: BTreeSet::new(),
+            events_total: read.events.len(),
+            events_from_snapshot: read.from_snapshot,
+            torn_tail_bytes: read.torn_tail_bytes,
+        };
+        for (i, event) in read.events.iter().enumerate() {
+            match event {
+                DagEvent::VertexInserted(v) => {
+                    if v.round() == 0 {
+                        continue; // genesis is hard-coded, never logged
+                    }
+                    match state.dag.insert(v.clone()) {
+                        Ok(()) => {
+                            if v.source() == me {
+                                state.own_round = state.own_round.max(v.round());
+                            }
+                        }
+                        Err(DagError::Duplicate(_)) => {}
+                        Err(e) => {
+                            return Err(StorageError::Corrupt {
+                                offset: i,
+                                detail: format!("log not replayable in order: {e}"),
+                            })
+                        }
+                    }
+                }
+                DagEvent::WaveConfirmed { wave } => {
+                    state.confirmed_waves.insert(*wave);
+                }
+                DagEvent::WaveDecided { wave, leader } => {
+                    if *wave > state.decided_wave
+                        && !state.commit_log.iter().any(|(w, _)| w == wave)
+                    {
+                        state.commit_log.push((*wave, *leader));
+                    }
+                    state.decided_wave = state.decided_wave.max(*wave);
+                }
+                DagEvent::BlockDelivered { id, .. } => {
+                    state.delivered.insert(*id);
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Compacts this state back into the minimal event sequence that
+    /// replays to it — what [`EventLog::install_snapshot`] persists.
+    ///
+    /// Vertices are emitted in `(round, source)` order (parents always
+    /// precede children), then confirmed waves, then the commit log in
+    /// order, then the delivered set.
+    pub fn to_snapshot_events(&self) -> Vec<DagEvent<B>> {
+        snapshot_events(
+            &self.dag,
+            self.confirmed_waves.iter().copied(),
+            &self.commit_log,
+            self.delivered.iter().copied(),
+        )
+    }
+}
+
+/// Compacts consensus state into the canonical snapshot event sequence —
+/// the single definition of the snapshot ordering contract, shared by
+/// [`RecoveredState::to_snapshot_events`] and by live processes that
+/// compact without materializing a `RecoveredState`. Vertices come first in
+/// `(round, source)` order (parents always precede children), then the
+/// confirmed waves and the commit log in order, then the delivered set
+/// (sorted; the ordering wave is not part of the durable delivered set, so
+/// it is stored as `0` and ignored on replay).
+pub fn snapshot_events<B: Clone>(
+    dag: &DagStore<B>,
+    confirmed_waves: impl IntoIterator<Item = WaveId>,
+    commit_log: &[(WaveId, VertexId)],
+    delivered: impl IntoIterator<Item = VertexId>,
+) -> Vec<DagEvent<B>> {
+    let mut events = Vec::new();
+    for r in 1..=dag.max_round().unwrap_or(0) {
+        for v in dag.vertices_in_round(r) {
+            events.push(DagEvent::VertexInserted(v.clone()));
+        }
+    }
+    let mut confirmed: Vec<WaveId> = confirmed_waves.into_iter().collect();
+    confirmed.sort_unstable();
+    for wave in confirmed {
+        events.push(DagEvent::WaveConfirmed { wave });
+    }
+    for (wave, leader) in commit_log {
+        events.push(DagEvent::WaveDecided { wave: *wave, leader: *leader });
+    }
+    let mut delivered: Vec<VertexId> = delivered.into_iter().collect();
+    delivered.sort_unstable();
+    for id in delivered {
+        events.push(DagEvent::BlockDelivered { id, wave: 0 });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStorage;
+    use asym_dag::Vertex;
+    use asym_quorum::ProcessSet;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    type Log = EventLog<Vec<u8>, MemStorage>;
+
+    /// Logs a full 4-process DAG of `rounds` rounds plus wave bookkeeping.
+    fn populated_log(rounds: u64) -> Log {
+        let mut log = Log::new(MemStorage::new()).with_snapshot_every(0);
+        for r in 1..=rounds {
+            for i in 0..4 {
+                log.append(&DagEvent::VertexInserted(Vertex::new(
+                    pid(i),
+                    r,
+                    vec![r as u8, i as u8],
+                    ProcessSet::full(4),
+                    vec![],
+                )))
+                .unwrap();
+            }
+        }
+        log.append(&DagEvent::WaveConfirmed { wave: 1 }).unwrap();
+        log.append(&DagEvent::WaveDecided { wave: 1, leader: VertexId::new(1, pid(2)) }).unwrap();
+        log.append(&DagEvent::BlockDelivered { id: VertexId::new(1, pid(2)), wave: 1 }).unwrap();
+        log
+    }
+
+    #[test]
+    fn replay_rebuilds_dag_and_bookkeeping() {
+        let log = populated_log(4);
+        let state = log.replay(4, pid(1), Vec::new()).unwrap();
+        assert_eq!(state.dag.len(), 4 + 16, "genesis + 4 rounds");
+        assert_eq!(state.own_round, 4);
+        assert_eq!(state.decided_wave, 1);
+        assert_eq!(state.commit_log, vec![(1, VertexId::new(1, pid(2)))]);
+        assert!(state.delivered.contains(&VertexId::new(1, pid(2))));
+        assert_eq!(state.confirmed_waves, BTreeSet::from([1]));
+        assert_eq!(state.events_from_snapshot, 0);
+        assert_eq!(state.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_compaction_replays_to_the_same_state() {
+        let log = populated_log(8);
+        let state = log.replay(4, pid(0), Vec::new()).unwrap();
+
+        let mut compacted = Log::new(MemStorage::new());
+        compacted.install_snapshot(&state.to_snapshot_events()).unwrap();
+        // New activity lands in the log tail after the snapshot.
+        compacted
+            .append(&DagEvent::VertexInserted(Vertex::new(
+                pid(0),
+                9,
+                vec![9],
+                ProcessSet::full(4),
+                vec![],
+            )))
+            .unwrap();
+        let re = compacted.replay(4, pid(0), Vec::new()).unwrap();
+        assert_eq!(re.dag.len(), state.dag.len() + 1);
+        assert_eq!(re.own_round, 9);
+        assert_eq!(re.commit_log, state.commit_log);
+        assert_eq!(re.delivered, state.delivered);
+        assert_eq!(re.confirmed_waves, state.confirmed_waves);
+        assert!(re.events_from_snapshot > 0);
+    }
+
+    #[test]
+    fn replay_is_idempotent_over_snapshot_log_overlap() {
+        // Crash between snapshot write and log truncation: the log still
+        // holds events the snapshot already covers.
+        let log = populated_log(4);
+        let state = log.replay(4, pid(0), Vec::new()).unwrap();
+        let mut overlapped = log.clone();
+        // Install the snapshot but resurrect the old log bytes afterwards.
+        let old_log = log.backend().log_bytes().to_vec();
+        overlapped.install_snapshot(&state.to_snapshot_events()).unwrap();
+        overlapped.backend_mut().append_log_raw(&old_log);
+        let re = overlapped.replay(4, pid(0), Vec::new()).unwrap();
+        assert_eq!(re.dag.len(), state.dag.len());
+        assert_eq!(re.commit_log, state.commit_log);
+        assert_eq!(re.delivered, state.delivered);
+    }
+
+    #[test]
+    fn missing_parent_in_log_order_is_corruption() {
+        let mut log = Log::new(MemStorage::new());
+        // Round-2 vertex whose round-1 parent was never logged.
+        log.append(&DagEvent::VertexInserted(Vertex::new(
+            pid(0),
+            2,
+            vec![],
+            ProcessSet::from_indices([1]),
+            vec![],
+        )))
+        .unwrap();
+        assert!(matches!(log.replay(4, pid(0), Vec::new()), Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn valid_frame_invalid_event_is_corruption() {
+        let mut log = Log::new(MemStorage::new());
+        let mut framed = Vec::new();
+        crate::wal::frame_record(&[42, 0, 1], &mut framed);
+        log.backend_mut().append_log_raw(&framed);
+        assert!(matches!(log.events(), Err(StorageError::Corrupt { .. })));
+    }
+
+    impl MemStorage {
+        /// Test-only raw append (bypasses framing).
+        fn append_log_raw(&mut self, bytes: &[u8]) {
+            use crate::backend::Storage as _;
+            self.append_log(bytes).unwrap();
+        }
+    }
+}

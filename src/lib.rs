@@ -13,7 +13,8 @@
 //! | [`broadcast`] | Bracha / asymmetric reliable broadcast, consistent broadcast |
 //! | [`gather`] | Algorithms 1–3: symmetric gather, the failing quorum-replacement attempt, the constant-round asymmetric gather |
 //! | [`dag`] | certified-DAG substrate: vertices, store, reachability, waves |
-//! | [`core`] | DAG-Rider (baseline) and asymmetric DAG-Rider (Algorithms 4–6) |
+//! | [`storage`] | persistent DAG event log: checksummed WAL, snapshots, in-memory & file backends, crash-recovery replay |
+//! | [`core`] | DAG-Rider (baseline) and asymmetric DAG-Rider (Algorithms 4–6), with WAL-backed crash recovery |
 //!
 //! This umbrella crate re-exports everything and adds the [`Cluster`]
 //! harness used by the examples, integration tests and experiment binaries.
@@ -51,15 +52,19 @@ pub use asym_dag as dag;
 pub use asym_gather as gather;
 pub use asym_quorum as quorum;
 pub use asym_sim as sim;
+pub use asym_storage as storage;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
-    pub use asym_core::{AsymDagRider, Block, DagRider, OrderedVertex, RiderConfig, RiderMetrics};
+    pub use asym_core::{
+        AsymDagRider, Block, DagLog, DagRider, OrderedVertex, RiderConfig, RiderMetrics,
+    };
     pub use asym_quorum::{
         maximal_guild, topology, AsymFailProneSystem, AsymQuorumSystem, FailProneSystem, ProcessId,
         ProcessSet, QuorumSystem,
     };
     pub use asym_sim::{scheduler, FaultMode, Simulation};
+    pub use asym_storage::{MemStorage, Storage, StorageBackend};
 
     pub use crate::cluster::{Adversary, Cluster, ClusterReport};
 }
