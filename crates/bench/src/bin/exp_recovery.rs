@@ -1,7 +1,10 @@
 //! REC: the persistence & crash-recovery experiment — WAL append
-//! throughput (in-memory and file backends), snapshot size vs. DAG height,
-//! and recovery (replay) latency vs. DAG height, plus an end-to-end
-//! restart scenario reporting how much work recovery actually performed.
+//! throughput (in-memory and file backends), snapshot size vs. DAG height
+//! with and without delivered-prefix pruning, recovery (replay) latency
+//! vs. DAG height, an end-to-end restart scenario reporting how much work
+//! recovery actually performed, and the per-snapshot size sequence of a
+//! live pruned run (bounded sawtooth) vs. an unpruned one (monotone
+//! growth).
 //!
 //! Exits non-zero if any replayed state diverges from its source.
 //!
@@ -126,11 +129,39 @@ fn main() {
         assert_eq!(re.dag.len(), replayed.dag.len(), "snapshot replay diverged");
         assert_eq!(re.delivered, replayed.delivered, "snapshot lost deliveries");
 
+        // Prune the delivered prefix the way a long-running node would
+        // (everything below the decided wave's leader round delivered) and
+        // measure the snapshot again: the pruned blob carries only the
+        // undelivered frontier plus bookkeeping.
+        let mut pruned_state = replayed.clone();
+        let decided = pruned_state.decided_wave;
+        let floor = if decided >= 1 { asym_dag::round_of_wave(decided, 1) } else { 0 };
+        for r in 1..=floor {
+            for i in 0..n {
+                pruned_state.delivered.insert(VertexId::new(r, pid(i)));
+            }
+        }
+        pruned_state.prune_delivered(floor);
+        let mut pruned_log = Log::new(StorageBackend::in_memory());
+        pruned_log.install_snapshot(&pruned_state.to_snapshot_events()).expect("pruned snapshot");
+        let pruned_bytes = pruned_log.stats().last_snapshot_bytes;
+        assert!(
+            floor == 0 || pruned_bytes < snap_bytes,
+            "pruning must shrink the snapshot ({pruned_bytes} !< {snap_bytes})"
+        );
+        // Pruned replay still reproduces the post-prefix state exactly.
+        let rep = pruned_log.replay(n, pid(0), Block::default()).expect("replay pruned");
+        assert_eq!(rep.dag.len(), pruned_state.dag.len(), "pruned replay diverged");
+        assert_eq!(rep.pruned_round, floor, "pruning marker lost");
+        assert_eq!(rep.delivered, pruned_state.delivered, "pruned replay lost deliveries");
+        assert_eq!(rep.commit_log, pruned_state.commit_log, "pruned replay lost commits");
+
         rows.push(Row {
             label: format!("height={h} ({} waves)", h / 4),
             values: vec![
                 ("log kB".into(), log_bytes as f64 / 1024.0),
                 ("snap kB".into(), snap_bytes as f64 / 1024.0),
+                ("pruned kB".into(), pruned_bytes as f64 / 1024.0),
                 ("replay µs".into(), replay_log_us),
                 ("snap-replay µs".into(), replay_snap_us),
             ],
@@ -141,7 +172,8 @@ fn main() {
         render_table(
             &format!(
                 "REC-2 — snapshot size and recovery latency vs. DAG height (n={n}).\n\
-                 replay µs = folding the raw WAL back into DAG + delivered set + commit log"
+                 replay µs = folding the raw WAL back into DAG + delivered set + commit log;\n\
+                 pruned kB = the same snapshot after garbage-collecting the delivered prefix"
             ),
             &rows
         )
@@ -183,6 +215,49 @@ fn main() {
              checkers (incl. no-double-delivery and WAL/state equivalence) pass",
             &rows
         )
+    );
+
+    // ── REC-4: snapshot size over a live run — pruning bounds the sequence ─
+    let mk = |prune: bool| {
+        Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none().with(1, Fault::Restart { crash_at: 120, recover_at: 900 }),
+            SchedulerSpec::Random,
+            5,
+        )
+        .waves(if smoke { 6 } else { 8 })
+        .snapshot_every(12)
+        .prune_wal(prune)
+    };
+    let pruned_outcome = checks::run_and_check_all(&mk(true)).unwrap_or_else(|e| {
+        eprintln!("pruned REC-4 cell violated an invariant:\n{e}");
+        std::process::exit(1);
+    });
+    let unpruned_outcome = checks::run_and_check_all(&mk(false)).unwrap_or_else(|e| {
+        eprintln!("unpruned REC-4 cell violated an invariant:\n{e}");
+        std::process::exit(1);
+    });
+    let pruned_sizes = pruned_outcome.wal_snapshot_sizes[1].clone().expect("WAL attached");
+    let unpruned_sizes = unpruned_outcome.wal_snapshot_sizes[1].clone().expect("WAL attached");
+    println!("REC-4 — per-snapshot blob sizes over one restart cell (cadence 12):");
+    println!("  pruned   : {pruned_sizes:?}");
+    println!("  unpruned : {unpruned_sizes:?}");
+    assert!(
+        unpruned_sizes.windows(2).all(|w| w[1] >= w[0]),
+        "without pruning the snapshot sequence grows monotonically"
+    );
+    assert!(
+        pruned_sizes.windows(2).any(|w| w[1] < w[0]),
+        "pruning must make the sequence non-monotone (sawtooth): {pruned_sizes:?}"
+    );
+    assert!(
+        pruned_sizes.iter().max() < unpruned_sizes.iter().max(),
+        "the pruned sequence must stay below the unpruned peak"
+    );
+    println!(
+        "  pruned peak {} B < unpruned peak {} B; sawtooth confirmed ✓",
+        pruned_sizes.iter().max().unwrap(),
+        unpruned_sizes.iter().max().unwrap()
     );
 
     let _ = std::fs::remove_dir_all(&file_dir);

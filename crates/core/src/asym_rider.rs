@@ -328,10 +328,29 @@ impl AsymDagRider {
         )
     }
 
-    /// Installs a snapshot when the WAL's cadence asks for one.
+    /// Installs a snapshot when the WAL's cadence asks for one. With
+    /// [`RiderConfig::prune_wal`] set, the delivered prefix below the
+    /// decided wave's leader round is garbage-collected first — from the
+    /// live DAG and hence from the snapshot — so the *vertex* component of
+    /// a snapshot tracks the undelivered frontier, not the whole history.
+    /// The delivered-set ids and the commit log are never pruned (they are
+    /// what makes re-delivery impossible) and still grow with history —
+    /// compacting them safely is an open ROADMAP item, because a
+    /// per-source watermark is unsound for Byzantine sources.
     fn maybe_snapshot(&mut self) {
         if !self.core.log().is_some_and(DagLog::should_snapshot) {
             return;
+        }
+        if self.core.config().prune_wal {
+            let decided = self.committer.decided_wave();
+            if decided >= 1 {
+                // Everything delivered lives at or below the decided
+                // wave's leader round (a wave-w commit orders history of
+                // the round-`4(w-1)+1` leader).
+                let floor = round_of_wave(decided, 1);
+                let delivered: BTreeSet<VertexId> = self.committer.delivered().collect();
+                self.core.prune_delivered(&delivered, floor);
+            }
         }
         let events = self.snapshot_events();
         self.core
@@ -351,11 +370,21 @@ impl AsymDagRider {
     /// Panics if the log is corrupt or unreadable: a process that cannot
     /// trust its durable state must not rejoin (fail-stop).
     fn restart_from_log(&mut self, ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>) {
-        let Some(log) = self.core.take_log() else {
+        let Some(mut log) = self.core.take_log() else {
             return; // no persistence layer: resume with in-memory state
         };
         let me = self.core.me();
         let config = self.core.config();
+        // The crash happened *now* as far as storage is concerned: a
+        // fault-injecting backend applies its modelled powerloss damage
+        // (torn append, lost unsynced suffix, reverted snapshot rename)
+        // before we read a single byte back.
+        log.powerloss().expect("storage failed while applying crash damage");
+        // Repair before the first post-recovery append: a record written
+        // after a surviving torn tail would fuse with it into one
+        // checksum-mismatching frame, leaving the log unreadable at the
+        // *next* restart (found by the powerloss-file matrix cells).
+        log.repair_torn_tail().expect("WAL torn-tail repair failed");
         let recovered =
             log.replay(self.quorums.n(), me, Block::default()).expect("WAL replay failed");
 
@@ -386,13 +415,18 @@ impl AsymDagRider {
         for m in self.core.rebroadcast_own() {
             ctx.broadcast(AsymRiderMsg::Arb(m));
         }
-        // Full state sync (floor 0): most of the reply duplicates the
-        // replayed DAG and is discarded on arrival, but any tighter floor
-        // can miss old vertices we never held (they surface later as weak
-        // edges), forcing refetch round-trips; at simulation sizes the
-        // simple, always-correct request wins. Replies are cross-validated
+        // Full state sync from the pruning floor: most of the reply
+        // duplicates the replayed DAG and is discarded on arrival, but any
+        // tighter floor can miss old vertices we never held (they surface
+        // later as weak edges), forcing refetch round-trips; at simulation
+        // sizes the simple, always-correct request wins. Rounds at or
+        // below the floor are almost entirely garbage-collected delivered
+        // prefix, so they are excluded here; in the rare case an
+        // *undelivered* sub-floor vertex is still missing, a buffered
+        // child will name it in `missing_parents` and `maybe_refetch`
+        // requests it with a matching floor. Replies are cross-validated
         // against a kernel before anything enters the DAG.
-        ctx.broadcast(AsymRiderMsg::Fetch { above_round: 0 });
+        ctx.broadcast(AsymRiderMsg::Fetch { above_round: self.core.dag().pruned_floor() });
         self.advance(ctx);
     }
 
@@ -427,7 +461,13 @@ impl AsymDagRider {
         let me = self.core.me();
         for v in vertices {
             let id = v.id();
+            // Round-0, own, stale (this exact id was delivered and
+            // garbage-collected), already-known and quorum-less (line 140)
+            // vertices are all discarded unseen. Undelivered old vertices
+            // below the pruning floor are *kept*: a later leader can still
+            // order them.
             if v.round() == 0
+                || self.core.dag().is_pruned(id)
                 || v.source() == me
                 || self.core.dag().contains(id)
                 || self.core.has_buffered(id)
@@ -735,9 +775,25 @@ mod tests {
         seed: u64,
         snapshot_every: usize,
     ) -> Vec<Vec<OrderedVertex>> {
+        run_restart_config(t, restarted, crash_at, recover_at, seed, snapshot_every, false)
+    }
+
+    fn run_restart_config(
+        t: &topology::Topology,
+        restarted: usize,
+        crash_at: u64,
+        recover_at: u64,
+        seed: u64,
+        snapshot_every: usize,
+        prune: bool,
+    ) -> Vec<Vec<OrderedVertex>> {
         use asym_storage::StorageBackend;
 
         let mut procs = cluster(t, 6);
+        if prune {
+            let config = RiderConfig { max_waves: 6, prune_wal: true, ..RiderConfig::default() };
+            procs[restarted] = AsymDagRider::new(pid(restarted), t.quorums.clone(), 42, config);
+        }
         procs[restarted] = procs[restarted].clone().with_storage(
             crate::DagLog::new(StorageBackend::in_memory()).with_snapshot_every(snapshot_every),
         );
@@ -816,6 +872,73 @@ mod tests {
         let t = topology::ripple_unl(7, 6, 1);
         let outputs = run_restart(&t, 5, 200, 1500, 5, 32);
         assert!(!outputs[5].is_empty());
+    }
+
+    #[test]
+    fn pruned_wal_restart_recovers_post_prefix_state() {
+        // Pruning on, aggressive snapshot cadence: the delivered prefix is
+        // garbage-collected from live DAG + snapshots, and the restart
+        // still recovers, catches up and keeps all invariants (the
+        // run_restart_config helper checks no-double-delivery, prefix
+        // consistency and exact WAL/state equivalence — which with live
+        // pruning stays *equality*, both sides lacking the pruned prefix).
+        let t = topology::uniform_threshold(4, 1);
+        let outputs = run_restart_config(&t, 2, 150, 1200, 3, 16, true);
+        assert!(!outputs[2].is_empty(), "pruned-WAL process must still deliver");
+        // Same cell without pruning delivers the same observable outputs
+        // for the *other* processes... not guaranteed bit-for-bit for the
+        // pruned one (weak edges may differ), so compare only delivery
+        // multisets of a fault-free process.
+        let unpruned = run_restart(&t, 2, 150, 1200, 3, 16);
+        let ids = |o: &[OrderedVertex]| o.iter().map(|v| v.id).collect::<Vec<_>>();
+        assert_eq!(ids(&outputs[0]).len(), ids(&unpruned[0]).len());
+    }
+
+    #[test]
+    fn pruning_bounds_the_snapshot() {
+        // Directly exercise the rider's prune-at-snapshot path: after a
+        // long run the pruned process's DAG and snapshot must not contain
+        // the delivered prefix, and its WAL must record a pruning floor.
+        use asym_storage::StorageBackend;
+        let t = topology::uniform_threshold(4, 1);
+        let config = RiderConfig { max_waves: 6, prune_wal: true, ..RiderConfig::default() };
+        let mut procs = cluster(&t, 6);
+        procs[1] = AsymDagRider::new(pid(1), t.quorums.clone(), 42, config)
+            .with_storage(crate::DagLog::new(StorageBackend::in_memory()).with_snapshot_every(24));
+        let mut sim = Simulation::new(procs, scheduler::Random::new(9));
+        for i in 0..4 {
+            sim.input(pid(i), Block::new(vec![9000 + i as u64]));
+        }
+        assert!(sim.run(200_000_000).quiescent);
+        let r = sim.process(pid(1));
+        let floor = r.dag().pruned_floor();
+        assert!(floor > 0, "a 6-wave run with cadence 24 must have pruned");
+        for round in 1..=floor {
+            for v in r.dag().vertices_in_round(round) {
+                assert!(
+                    !r.committer().is_delivered(v.id()),
+                    "delivered {} below the floor survived pruning",
+                    v.id()
+                );
+            }
+        }
+        let replayed = r.replay_storage().unwrap().unwrap();
+        assert_eq!(replayed.pruned_round, floor);
+        assert_eq!(replayed.dag.len(), r.dag().len(), "pruned replay = pruned live state");
+        // An unpruned twin of the same cell stores strictly more vertices.
+        let mut procs = cluster(&t, 6);
+        procs[1] = procs[1]
+            .clone()
+            .with_storage(crate::DagLog::new(StorageBackend::in_memory()).with_snapshot_every(24));
+        let mut sim2 = Simulation::new(procs, scheduler::Random::new(9));
+        for i in 0..4 {
+            sim2.input(pid(i), Block::new(vec![9000 + i as u64]));
+        }
+        assert!(sim2.run(200_000_000).quiescent);
+        assert!(
+            r.dag().len() < sim2.process(pid(1)).dag().len(),
+            "pruning must actually shrink the stored DAG"
+        );
     }
 
     #[test]

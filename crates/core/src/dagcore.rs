@@ -273,8 +273,15 @@ impl DagCore {
     /// (bypassing reliable broadcast — the caller has already established
     /// that enough processes vouch for it). Buffered like an arb delivery;
     /// insertion still waits for the round bound and the causal history.
+    /// Vertices whose exact identity was pruned are *stale* — they belong
+    /// to a garbage-collected delivered prefix whose content can never be
+    /// needed again — and are dropped: re-buffering one would wedge on its
+    /// equally-pruned parents and re-grow the log. (An *undelivered* old
+    /// vertex this process never received is NOT stale, even below the
+    /// pruning floor: a later leader may still order it, so it must be
+    /// accepted.)
     pub fn accept_fetched(&mut self, v: Vertex<Block>) {
-        if v.round() == 0 || self.dag.contains(v.id()) {
+        if v.round() == 0 || self.dag.is_pruned(v.id()) || self.dag.contains(v.id()) {
             return;
         }
         if self.buffer.iter().any(|b| b.id() == v.id()) {
@@ -291,18 +298,29 @@ impl DagCore {
 
     /// Parents referenced by buffered vertices that are neither stored nor
     /// themselves buffered — the vertices a recovering process must fetch
-    /// before its buffer can drain.
+    /// before its buffer can drain. Pruned parents are never missing: they
+    /// were delivered and garbage-collected, and asking peers for them
+    /// would refetch a prefix we promised to forget.
     pub fn missing_parents(&self) -> BTreeSet<VertexId> {
         let buffered: HashSet<VertexId> = self.buffer.iter().map(Vertex::id).collect();
         let mut missing = BTreeSet::new();
         for v in &self.buffer {
             for p in v.parents() {
-                if !self.dag.contains(p) && !buffered.contains(&p) {
+                if !self.dag.is_pruned(p) && !self.dag.contains(p) && !buffered.contains(&p) {
                     missing.insert(p);
                 }
             }
         }
         missing
+    }
+
+    /// Garbage-collects the delivered prefix from the live DAG: every
+    /// vertex in `delivered` with round `<= up_to_round` is removed and the
+    /// pruning floor ratchets up (see [`asym_storage::prune_dag`]). Called
+    /// by the rider at snapshot time so the live DAG, the snapshot and a
+    /// future replay all agree on what was forgotten.
+    pub fn prune_delivered(&mut self, delivered: &BTreeSet<VertexId>, up_to_round: Round) {
+        asym_storage::prune_dag(&mut self.dag, delivered, up_to_round);
     }
 
     /// `setWeakEdges` (Algorithm 4, lines 84–88): weak edges to every vertex

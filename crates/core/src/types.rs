@@ -81,11 +81,24 @@ pub struct RiderConfig {
     /// Enable the CONFIRM-from-kernel amplification (asymmetric variant
     /// only; ignored by the symmetric baseline).
     pub kernel_amplification: bool,
+    /// Garbage-collect the delivered prefix at every WAL snapshot: vertices
+    /// of waves below the decided wave that were already delivered are
+    /// dropped from the local DAG and from subsequent snapshots (bounding
+    /// both), leaving a [`Pruned`](asym_storage::DagEvent::Pruned) marker
+    /// so replay tolerates the missing ancestry. Off by default: pruning
+    /// changes which old vertices are visible to `setWeakEdges`, so two
+    /// runs differing only in snapshot cadence are no longer bit-identical.
+    pub prune_wal: bool,
 }
 
 impl Default for RiderConfig {
     fn default() -> Self {
-        RiderConfig { max_waves: 8, allow_empty_blocks: true, kernel_amplification: true }
+        RiderConfig {
+            max_waves: 8,
+            allow_empty_blocks: true,
+            kernel_amplification: true,
+            prune_wal: false,
+        }
     }
 }
 

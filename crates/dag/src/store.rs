@@ -64,12 +64,20 @@ impl std::error::Error for DagError {}
 pub struct DagStore<B> {
     rounds: BTreeMap<Round, BTreeMap<ProcessId, Vertex<B>>>,
     len: usize,
+    /// Identities garbage-collected after delivery. A missing parent is
+    /// tolerated on insert **iff its exact id is recorded here** — a
+    /// round-based floor would also excuse a slow old vertex this process
+    /// simply never received, silently breaking delivery completeness.
+    pruned: HashSet<VertexId>,
+    /// Highest round of any pruned vertex (`0` = nothing pruned) — the
+    /// metadata the snapshot marker and the recovery fetch floor use.
+    pruned_floor: Round,
 }
 
 impl<B> DagStore<B> {
     /// Creates an empty store (no genesis).
     pub fn new() -> Self {
-        DagStore { rounds: BTreeMap::new(), len: 0 }
+        DagStore { rounds: BTreeMap::new(), len: 0, pruned: HashSet::new(), pruned_floor: 0 }
     }
 
     /// Creates a store pre-populated with round-0 genesis vertices for all
@@ -103,6 +111,50 @@ impl<B> DagStore<B> {
         self.rounds.iter().rev().find(|(_, m)| !m.is_empty()).map(|(r, _)| *r)
     }
 
+    /// The pruning floor: the highest round of any garbage-collected
+    /// vertex. `0` means nothing was pruned. (Metadata only — insert
+    /// tolerance is decided per-id via [`DagStore::is_pruned`].)
+    pub fn pruned_floor(&self) -> Round {
+        self.pruned_floor
+    }
+
+    /// `true` if this exact identity was garbage-collected after delivery
+    /// (its content can never be needed again).
+    pub fn is_pruned(&self, id: VertexId) -> bool {
+        self.pruned.contains(&id)
+    }
+
+    /// Number of pruned identities recorded.
+    pub fn pruned_len(&self) -> usize {
+        self.pruned.len()
+    }
+
+    /// Records `id` as a garbage-collected delivered vertex *without*
+    /// requiring it to be present — the replay path reconstructs the
+    /// pruned set as "delivered but absent from the snapshot". Ratchets
+    /// the floor.
+    pub fn note_pruned(&mut self, id: VertexId) {
+        self.pruned_floor = self.pruned_floor.max(id.round);
+        self.pruned.insert(id);
+    }
+
+    /// Ratchets the floor metadata without recording an id — used when
+    /// replaying a snapshot's pruning marker.
+    pub fn set_pruned_floor(&mut self, floor: Round) {
+        self.pruned_floor = self.pruned_floor.max(floor);
+    }
+
+    /// Garbage-collects one delivered vertex: removes it and records its
+    /// identity so children referencing it still insert. The caller is
+    /// responsible for only pruning *delivered* vertices — pruning an
+    /// undelivered one would silently drop it from every later leader's
+    /// causal history.
+    pub fn prune(&mut self, id: VertexId) -> Option<Vertex<B>> {
+        let v = self.remove(id)?;
+        self.note_pruned(id);
+        Some(v)
+    }
+
     /// Inserts a vertex.
     ///
     /// # Errors
@@ -132,7 +184,7 @@ impl<B> DagStore<B> {
             return Err(DagError::Duplicate(id));
         }
         for parent in vertex.parents() {
-            if !self.contains(parent) {
+            if !self.contains(parent) && !self.pruned.contains(&parent) {
                 return Err(DagError::MissingParent { vertex: id, parent });
             }
         }
@@ -142,10 +194,24 @@ impl<B> DagStore<B> {
         Ok(())
     }
 
+    /// Removes a vertex without recording it as pruned (prefer
+    /// [`DagStore::prune`] for garbage collection — children referencing a
+    /// plainly-removed vertex will no longer insert).
+    pub fn remove(&mut self, id: VertexId) -> Option<Vertex<B>> {
+        let slot = self.rounds.get_mut(&id.round)?;
+        let v = slot.remove(&id.source)?;
+        if slot.is_empty() {
+            self.rounds.remove(&id.round);
+        }
+        self.len -= 1;
+        Some(v)
+    }
+
     /// Returns `true` if all parents of `vertex` are present (the insert
-    /// precondition).
+    /// precondition). Pruned parents count as present — they were
+    /// delivered and garbage-collected.
     pub fn parents_present(&self, vertex: &Vertex<B>) -> bool {
-        vertex.parents().all(|p| self.contains(p))
+        vertex.parents().all(|p| self.contains(p) || self.pruned.contains(&p))
     }
 
     /// `true` if the identified vertex is stored.
@@ -407,6 +473,46 @@ mod tests {
     fn causal_history_of_missing_vertex_is_empty() {
         let dag = full_dag(3, 1);
         assert!(dag.causal_history(vid(5, 0)).is_empty());
+    }
+
+    #[test]
+    fn pruning_tolerates_exactly_the_pruned_parents() {
+        let mut dag = full_dag(3, 2);
+        assert_eq!(dag.pruned_floor(), 0);
+        // Garbage-collect round 1 (pretend it was all delivered).
+        for i in 0..3 {
+            let v = dag.prune(vid(1, i)).expect("present");
+            assert_eq!(v.id(), vid(1, i));
+        }
+        assert_eq!(dag.len(), 3 + 3, "genesis + round 2 remain");
+        assert_eq!(dag.pruned_floor(), 1);
+        assert_eq!(dag.pruned_len(), 3);
+        assert!(dag.is_pruned(vid(1, 0)));
+        // A round-2 latecomer referencing the pruned round still inserts…
+        let v = Vertex::new(pid(0), 3, 3u64, ProcessSet::from_indices([0, 1]), vec![]);
+        assert!(dag.parents_present(&v), "pruned parents count as present");
+        dag.insert(v).unwrap();
+        // …but a parent that was merely never received is NOT excused,
+        // even in an already-pruned round: tolerance is per exact id.
+        let mut sparse: DagStore<u64> = DagStore::with_genesis(3, 0);
+        sparse.insert(Vertex::new(pid(0), 1, 1, ProcessSet::from_indices([0]), vec![])).unwrap();
+        sparse.prune(vid(1, 0)).unwrap();
+        let orphan = Vertex::new(pid(1), 2, 2, ProcessSet::from_indices([0, 1]), vec![]);
+        assert!(!sparse.parents_present(&orphan), "v(p1,r1) was never received, not pruned");
+        assert_eq!(
+            sparse.insert(orphan),
+            Err(DagError::MissingParent { vertex: vid(2, 1), parent: vid(1, 1) })
+        );
+        // Replay-side reconstruction: recording an absent id as pruned.
+        sparse.note_pruned(vid(1, 1));
+        assert!(sparse.is_pruned(vid(1, 1)));
+        // `causal_history` still *names* pruned parents (their ids are
+        // reachable) but cannot expand them — callers skip them via the
+        // delivered set, which is never pruned.
+        assert_eq!(
+            dag.causal_history(vid(3, 0)),
+            vec![vid(1, 0), vid(1, 1), vid(1, 2), vid(2, 0), vid(2, 1), vid(3, 0)]
+        );
     }
 
     #[test]

@@ -15,20 +15,44 @@ use asym_sim::{Context, Protocol};
 
 /// A protocol-level attack an adversarial participant mounts once at start,
 /// staying silent afterwards (worst case: attack + crash).
+///
+/// Every attack also has a *recovery-time* half, mounted when the attacker
+/// is assigned [`Fault::ByzantineRestart`](crate::Fault::ByzantineRestart)
+/// and the engine revives it: instead of an honest WAL replay it lies —
+/// re-SENDing equivocating copies of its own vertices, re-announcing
+/// CONFIRMs it never earned, or soliciting fetch traffic it will poison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ByzAttack {
     /// Send *different* round-1 vertices to even and odd processes under the
     /// same arb instance (equivocation). Reliable broadcast must ensure at
-    /// most one version is ever ordered, and the same one everywhere.
+    /// most one version is ever ordered, and the same one everywhere. On
+    /// recovery: re-SENDs the two copies *swapped* (each peer now sees the
+    /// copy it did not see before) and falsely re-announces CONFIRMs.
     EquivocateVertices,
     /// Broadcast a round-2 vertex whose strong edges reference only the
     /// attacker — no quorum, violating the line-140 validity rule. Honest
-    /// processes must never insert it.
+    /// processes must never insert it. On recovery: broadcasts it again.
     BogusStrongEdges,
     /// Flood CONFIRM/READY messages for far-future waves (state-poisoning
-    /// probe against the Algorithm-5 control ladder).
+    /// probe against the Algorithm-5 control ladder). On recovery: floods
+    /// again.
     ConfirmFlood,
+    /// Lie *to recovering processes*: stays silent until it sees a
+    /// [`Fetch`](asym_core::AsymRiderMsg::Fetch), then answers with a
+    /// forged [`FetchReply`](asym_core::AsymRiderMsg::FetchReply) —
+    /// fabricated vertices attributed to honest processes (forged copies
+    /// of their genuine round-1 vertices plus never-created ones) and
+    /// false confirmed-wave claims. The fetch path bypasses reliable
+    /// broadcast, so the recovering process's kernel-matched acceptance is
+    /// the only defense this attack probes. On recovery: broadcasts a
+    /// `Fetch` of its own, soliciting reply traffic it can answer-poison.
+    ForgeFetchReplies,
 }
+
+/// The forged transaction id `ForgeFetchReplies` plants in fabricated
+/// vertices; appearing in any honest output or DAG is proof the defense
+/// failed.
+pub const FORGED_TX: u64 = 7777;
 
 impl ByzAttack {
     /// The equivocated/invalid transaction ids this attack injects; the
@@ -38,6 +62,11 @@ impl ByzAttack {
             ByzAttack::EquivocateVertices => &[666, 999],
             ByzAttack::BogusStrongEdges => &[31337],
             ByzAttack::ConfirmFlood => &[],
+            // FORGED_TX is deliberately absent: the forged vertices claim
+            // *honest* sources, so any delivery of one is flagged by the
+            // no-fabrication checkers rather than excused as
+            // attacker-authored.
+            ByzAttack::ForgeFetchReplies => &[],
         }
     }
 }
@@ -48,6 +77,7 @@ impl core::fmt::Display for ByzAttack {
             ByzAttack::EquivocateVertices => write!(f, "equivocate"),
             ByzAttack::BogusStrongEdges => write!(f, "bogus-edges"),
             ByzAttack::ConfirmFlood => write!(f, "confirm-flood"),
+            ByzAttack::ForgeFetchReplies => write!(f, "forge-fetch-replies"),
         }
     }
 }
@@ -73,6 +103,44 @@ impl ByzProcess {
     }
 }
 
+impl ByzProcess {
+    /// Sends the two equivocating round-1 copies; `swap` flips which copy
+    /// goes to even and odd peers (the recovery-time re-SEND shows every
+    /// peer the copy it did not see before the crash).
+    fn equivocate(&self, swap: bool, ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>) {
+        let full: ProcessSet = (0..self.n).collect();
+        for i in 0..self.n {
+            let even = (i % 2 == 0) ^ swap;
+            let block = Block::new(vec![if even { 666 } else { 999 }]);
+            let v = Vertex::new(self.me, 1, block, full.clone(), vec![]);
+            ctx.send(ProcessId::new(i), AsymRiderMsg::Arb(BcastMsg::Send { tag: 1, value: v }));
+        }
+    }
+
+    /// The forged catch-up reply `ForgeFetchReplies` answers fetches with:
+    /// fabricated round-`above_round + 1` vertices attributed to every
+    /// *other* process (forged copies of genuine round-1 vertices when
+    /// `above_round == 0`, pure fabrications otherwise), plus false
+    /// confirmed-wave claims.
+    fn forged_fetch_reply(&self, above_round: u64) -> AsymRiderMsg {
+        let full: ProcessSet = (0..self.n).collect();
+        let round = above_round + 1;
+        let vertices: Vec<Vertex<Block>> = (0..self.n)
+            .filter(|i| *i != self.me.index())
+            .map(|i| {
+                Vertex::new(
+                    ProcessId::new(i),
+                    round,
+                    Block::new(vec![FORGED_TX]),
+                    full.clone(),
+                    vec![],
+                )
+            })
+            .collect();
+        AsymRiderMsg::FetchReply { vertices, confirmed: (1..=30).collect() }
+    }
+}
+
 impl Protocol for ByzProcess {
     type Msg = AsymRiderMsg;
     type Input = Block;
@@ -84,15 +152,53 @@ impl Protocol for ByzProcess {
         }
         self.sent = true;
         match self.attack {
+            ByzAttack::EquivocateVertices => self.equivocate(false, ctx),
+            ByzAttack::BogusStrongEdges => {
+                let v = Vertex::new(
+                    self.me,
+                    2,
+                    Block::new(vec![31337]),
+                    ProcessSet::singleton(self.me),
+                    vec![],
+                );
+                ctx.broadcast(AsymRiderMsg::Arb(BcastMsg::Send { tag: 2, value: v }));
+            }
+            ByzAttack::ConfirmFlood => {
+                for wave in 1..50 {
+                    ctx.broadcast(AsymRiderMsg::Confirm { wave });
+                    ctx.broadcast(AsymRiderMsg::Ready { wave });
+                }
+            }
+            // Lies reactively: every Fetch it sees gets a poisoned reply.
+            ByzAttack::ForgeFetchReplies => {}
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        // Attacks stay otherwise silent after their opening move (worst
+        // case: attack + crash) — except the fetch-forger, which answers
+        // exactly the message a *recovering* honest process depends on.
+        if let (ByzAttack::ForgeFetchReplies, AsymRiderMsg::Fetch { above_round }) =
+            (self.attack, &msg)
+        {
+            ctx.send(from, self.forged_fetch_reply(*above_round));
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        // The recovery-time lie: a Byzantine process revived by the engine
+        // mimics the shape of honest recovery (re-SENDs, CONFIRM
+        // re-announcements, a catch-up Fetch) with poisoned content.
+        match self.attack {
             ByzAttack::EquivocateVertices => {
-                let full: ProcessSet = (0..self.n).collect();
-                for i in 0..self.n {
-                    let block = Block::new(vec![if i % 2 == 0 { 666 } else { 999 }]);
-                    let v = Vertex::new(self.me, 1, block, full.clone(), vec![]);
-                    ctx.send(
-                        ProcessId::new(i),
-                        AsymRiderMsg::Arb(BcastMsg::Send { tag: 1, value: v }),
-                    );
+                self.equivocate(true, ctx);
+                for wave in 1..=8 {
+                    ctx.broadcast(AsymRiderMsg::Confirm { wave });
                 }
             }
             ByzAttack::BogusStrongEdges => {
@@ -111,16 +217,19 @@ impl Protocol for ByzProcess {
                     ctx.broadcast(AsymRiderMsg::Ready { wave });
                 }
             }
+            ByzAttack::ForgeFetchReplies => {
+                // Solicit catch-up traffic it can answer-poison, and push
+                // an unsolicited forged reply at everyone in case some
+                // peer is mid-recovery right now.
+                ctx.broadcast(AsymRiderMsg::Fetch { above_round: 0 });
+                let reply = self.forged_fetch_reply(0);
+                for i in 0..self.n {
+                    if i != self.me.index() {
+                        ctx.send(ProcessId::new(i), reply.clone());
+                    }
+                }
+            }
         }
-    }
-
-    fn on_message(
-        &mut self,
-        _from: ProcessId,
-        _msg: Self::Msg,
-        _ctx: &mut Context<'_, Self::Msg, Self::Output>,
-    ) {
-        // Stays silent after the attack: worst case is crash + attack.
     }
 }
 
@@ -175,10 +284,11 @@ impl Protocol for Party {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
-        // Byzantine restart is not modelled (a ROADMAP gap): attackers keep
-        // the default "merely unreachable" semantics.
-        if let Party::Honest(p) = self {
-            p.on_recover(ctx)
+        match self {
+            Party::Honest(p) => p.on_recover(ctx),
+            // A revived attacker lies during its own recovery
+            // (Fault::ByzantineRestart) instead of replaying a WAL.
+            Party::Byzantine(p) => p.on_recover(ctx),
         }
     }
 }

@@ -9,9 +9,11 @@
 //! | checker | paper claim |
 //! |---------|-------------|
 //! | [`quiescence`] | bounded executions terminate (budget not exhausted) |
-//! | [`prefix_consistency`] | total order: outputs of honest processes are prefixes of one another |
+//! | [`prefix_consistency`] | total order: outputs of honest processes are prefixes of one another, ids *and* blocks |
 //! | [`no_duplicates`] | integrity: no vertex delivered twice |
 //! | [`no_fabrication`] | validity: committed blocks were really injected (or are Byzantine-authored) |
+//! | [`dag_no_fabrication`] | no honest DAG *stores* a vertex whose claimed honest source never created it (forged fetch replies) |
+//! | [`cross_dag_consistency`] | any vertex id two honest DAGs share is bit-identical in both (no forged copy was smuggled in) |
 //! | [`dag_well_formed`] | every local DAG satisfies the certified-DAG invariants incl. the line-140 quorum rule |
 //! | [`commit_log_coin`] | commit logs elect exactly the common-coin leaders, in increasing waves |
 //! | [`delivery_bookkeeping`] | the committer's delivered set and log agree exactly with the observed output stream |
@@ -41,6 +43,8 @@ pub fn standard_checks() -> Vec<(&'static str, CheckFn)> {
         ("prefix_consistency", prefix_consistency),
         ("no_duplicates", no_duplicates),
         ("no_fabrication", no_fabrication),
+        ("dag_no_fabrication", dag_no_fabrication),
+        ("cross_dag_consistency", cross_dag_consistency),
         ("dag_well_formed", dag_well_formed),
         ("commit_log_coin", commit_log_coin),
         ("delivery_bookkeeping", delivery_bookkeeping),
@@ -145,7 +149,11 @@ pub fn quiescence(o: &ScenarioOutcome) -> Result<(), String> {
 /// Total order: the output sequences of every pair of honest processes are
 /// prefix-consistent (Definition 4.1, agreement + total order in bounded
 /// form). Crash/mute processes are honest-but-truncated, so they are
-/// included; Byzantine processes are not.
+/// included; Byzantine processes are not. Compares *blocks* as well as ids:
+/// two processes agreeing on the vertex identity but delivering different
+/// payloads (an equivocation that slipped past reliable broadcast, or a
+/// forged fetch copy) is exactly the fork this invariant exists to catch —
+/// an id-only comparison would wave it through.
 pub fn prefix_consistency(o: &ScenarioOutcome) -> Result<(), String> {
     for a in &o.honest {
         for b in &o.honest {
@@ -156,6 +164,13 @@ pub fn prefix_consistency(o: &ScenarioOutcome) -> Result<(), String> {
                     return Err(format!(
                         "total order forked between {a} and {b} at position {k}: {} vs {}",
                         oa[k].id, ob[k].id
+                    ));
+                }
+                if oa[k].block != ob[k].block {
+                    return Err(format!(
+                        "{a} and {b} delivered {} at position {k} with different blocks: \
+                         {:?} vs {:?}",
+                        oa[k].id, oa[k].block.txs, ob[k].block.txs
                     ));
                 }
             }
@@ -215,6 +230,84 @@ pub fn no_fabrication(o: &ScenarioOutcome) -> Result<(), String> {
     Ok(())
 }
 
+/// DAG-level no-fabrication: an honest process must never *store* (not
+/// merely never deliver) a vertex from an honest source carrying a block
+/// that source never injected, nor a vertex from a Byzantine source
+/// carrying transactions its attack is not known to author. This is the
+/// checker the forged-fetch-reply attack aims at: a fabricated vertex
+/// attributed to an honest process that slips past the kernel-matched
+/// fetch acceptance lands in a DAG long before (and even without ever)
+/// being delivered.
+pub fn dag_no_fabrication(o: &ScenarioOutcome) -> Result<(), String> {
+    for p in &o.honest {
+        let dag = o.dags[p.index()].as_ref().expect("honest processes snapshot their DAG");
+        for r in 1..=dag.max_round().unwrap_or(0) {
+            for v in dag.vertices_in_round(r) {
+                let src = v.source();
+                if o.honest.contains(src) {
+                    if !v.block().is_empty() && !o.injected[src.index()].contains(v.block()) {
+                        return Err(format!(
+                            "{p} stores {} carrying block {:?} that {src} never injected \
+                             (forged vertex accepted into a DAG)",
+                            v.id(),
+                            v.block().txs
+                        ));
+                    }
+                } else {
+                    let attack = o
+                        .scenario
+                        .faults
+                        .byzantine()
+                        .find(|(i, _)| *i == src.index())
+                        .map(|(_, a)| a)
+                        .expect("non-honest source must be a configured attacker");
+                    for tx in &v.block().txs {
+                        if !attack.injected_txs().contains(tx) {
+                            return Err(format!(
+                                "{p} stores {} with tx {tx} not authored by the {attack} attack",
+                                v.id()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Cross-DAG consistency: any vertex identity present in two honest DAGs
+/// must be bit-identical in both (same block, same edges). Reliable
+/// broadcast guarantees this for arb-delivered vertices; the recovery
+/// fetch path bypasses reliable broadcast, so this checker is what proves
+/// the kernel-matched acceptance kept equivocated or forged fetch copies
+/// out — *before* any of them reaches a commit.
+pub fn cross_dag_consistency(o: &ScenarioOutcome) -> Result<(), String> {
+    let honest: Vec<_> = o.honest.iter().collect();
+    for (ai, a) in honest.iter().enumerate() {
+        let da = o.dags[a.index()].as_ref().expect("honest DAG snapshot");
+        for b in honest.iter().skip(ai + 1) {
+            let db = o.dags[b.index()].as_ref().expect("honest DAG snapshot");
+            for r in 1..=da.max_round().unwrap_or(0) {
+                for v in da.vertices_in_round(r) {
+                    if let Some(w) = db.get(v.id()) {
+                        if v != w {
+                            return Err(format!(
+                                "{a} and {b} store different vertices under the same identity \
+                                 {}: blocks {:?} vs {:?}",
+                                v.id(),
+                                v.block().txs,
+                                w.block().txs
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Certified-DAG well-formedness of every honest local DAG, audited through
 /// [`asym_dag::DagStore`]: parents precede children, strong edges satisfy
 /// the Algorithm-6 line-140 quorum rule, every ordered vertex is stored with
@@ -226,7 +319,9 @@ pub fn dag_well_formed(o: &ScenarioOutcome) -> Result<(), String> {
         for r in 1..=max_round {
             for v in dag.vertices_in_round(r) {
                 for parent in v.parents() {
-                    if !dag.contains(parent) {
+                    // Pruned parents were delivered and garbage-collected
+                    // — legally absent (per exact id, not by round).
+                    if !dag.contains(parent) && !dag.is_pruned(parent) {
                         return Err(format!("{p}: {} references missing parent {parent}", v.id()));
                     }
                 }
@@ -245,6 +340,11 @@ pub fn dag_well_formed(o: &ScenarioOutcome) -> Result<(), String> {
             out.iter().enumerate().map(|(k, v)| (v.id, k)).collect();
         for (k, v) in out.iter().enumerate() {
             let Some(stored) = dag.get(v.id) else {
+                // A pruned vertex was delivered first and garbage-collected
+                // later — exactly what WAL pruning promises.
+                if dag.is_pruned(v.id) {
+                    continue;
+                }
                 return Err(format!("{p} ordered {} which is not in its DAG", v.id));
             };
             if stored.block() != &v.block {
@@ -471,13 +571,27 @@ pub fn restart_liveness(o: &ScenarioOutcome) -> Result<(), String> {
 /// reproduce its live state exactly — same DAG vertices, same delivered
 /// set, same commit log, same decided wave. This is the checker that makes
 /// "the log is the state" an audited invariant rather than a design hope.
-/// Vacuous for processes without storage.
+/// Pruning keeps the equivalence *an equality*: the live DAG and every
+/// snapshot drop the same delivered prefix and carry the same floor, so a
+/// pruned replay must still coincide with the pruned live state — the
+/// post-prefix extension of the original claim. Vacuous for processes
+/// without storage.
 pub fn wal_state_equivalence(o: &ScenarioOutcome) -> Result<(), String> {
     for p in &o.honest {
         let i = p.index();
         let Some(replay) = &o.wal_replays[i] else { continue };
         let replayed = replay.as_ref().map_err(|e| format!("{p}: WAL unreadable: {e}"))?;
         let dag = o.dags[i].as_ref().expect("honest processes snapshot their DAG");
+        if replayed.dag.pruned_floor() != dag.pruned_floor()
+            || replayed.pruned_round != dag.pruned_floor()
+        {
+            return Err(format!(
+                "{p}: WAL replays to pruning floor {} (marker {}) but the live DAG's floor is {}",
+                replayed.dag.pruned_floor(),
+                replayed.pruned_round,
+                dag.pruned_floor()
+            ));
+        }
         if replayed.dag.len() != dag.len() {
             return Err(format!(
                 "{p}: WAL replays to {} vertices but the live DAG holds {}",
@@ -577,9 +691,12 @@ mod tests {
 
     #[test]
     fn standard_suite_passes_with_byzantine_attacker() {
-        for attack in
-            [ByzAttack::EquivocateVertices, ByzAttack::BogusStrongEdges, ByzAttack::ConfirmFlood]
-        {
+        for attack in [
+            ByzAttack::EquivocateVertices,
+            ByzAttack::BogusStrongEdges,
+            ByzAttack::ConfirmFlood,
+            ByzAttack::ForgeFetchReplies,
+        ] {
             let s = Scenario::new(
                 TopologySpec::UniformThreshold { n: 4, f: 1 },
                 FaultPlan::none().with(3, Fault::Byzantine(attack)),
@@ -678,5 +795,43 @@ mod tests {
         };
         outcome.outputs[1][0] = forged;
         assert!(prefix_consistency(&outcome).is_err());
+    }
+
+    #[test]
+    fn prefix_consistency_detects_a_block_level_fork() {
+        // Regression for a bug found while building the recovery attack
+        // cells: the checker used to compare only vertex *ids*, so two
+        // processes delivering the same id with different payloads (the
+        // observable of a successful equivocation, and of the powerloss
+        // own-vertex re-mint demonstrated in this PR) passed silently.
+        let mut outcome = scenario().run();
+        let mut forged = outcome.outputs[1][0].clone();
+        forged.block = asym_core::Block::new(vec![424_242]);
+        outcome.outputs[1][0] = forged;
+        let err = prefix_consistency(&outcome).expect_err("block fork must be flagged");
+        assert!(err.contains("different blocks"), "{err}");
+    }
+
+    #[test]
+    fn cross_dag_consistency_detects_a_smuggled_copy() {
+        // A forged copy of an existing vertex planted in one process's DAG
+        // (what a broken fetch acceptance would allow) must be flagged
+        // even if it is never delivered.
+        let mut outcome = scenario().run();
+        let dag = outcome.dags[2].as_mut().unwrap();
+        let victim = dag.vertices_in_round(1).next().unwrap().clone();
+        let id = victim.id();
+        let forged = asym_dag::Vertex::new(
+            id.source,
+            id.round,
+            asym_core::Block::new(vec![777_777]),
+            victim.strong_edges().clone(),
+            victim.weak_edges().to_vec(),
+        );
+        dag.remove(id).unwrap();
+        dag.insert(forged).unwrap();
+        let err = cross_dag_consistency(&outcome).expect_err("smuggled copy must be flagged");
+        assert!(err.contains("same identity"), "{err}");
+        assert!(dag_no_fabrication(&outcome).is_err(), "and it is a fabrication too");
     }
 }

@@ -25,7 +25,13 @@
 //! The [`Fault::Restart`] axis equips a process with an `asym-storage`
 //! write-ahead log, crashes it mid-run, and restarts it from that log: the
 //! recovered process must rejoin, catch up and keep its delivered sequence
-//! a prefix-consistent, duplicate-free match with everyone else.
+//! a prefix-consistent, duplicate-free match with everyone else. Recovery
+//! is treated as an *attack surface*: [`StorageSpec`] injects powerloss
+//! damage into the WAL at the crash, [`Fault::ByzantineRestart`] revives
+//! an attacker that lies during its own recovery, and
+//! [`ByzAttack::ForgeFetchReplies`] lies *to* a recovering process through
+//! the catch-up fetch path — with [`checks::cross_dag_consistency`] and
+//! [`checks::dag_no_fabrication`] proving none of it sticks.
 //!
 //! Every failure prints the exact `(topology, fault plan, scheduler, seed)`
 //! tuple; [`replay`] re-executes it bit-for-bit.
@@ -56,11 +62,11 @@ mod matrix;
 mod runner;
 mod spec;
 
-pub use byzantine::{ByzAttack, ByzProcess, Party};
+pub use byzantine::{ByzAttack, ByzProcess, Party, FORGED_TX};
 pub use checks::{replay, ScenarioFailure};
 pub use matrix::{CellStats, CellStatus, Matrix, MatrixReport};
 pub use runner::{ScenarioError, ScenarioOutcome};
-pub use spec::{Fault, FaultPlan, Scenario, SchedulerSpec};
+pub use spec::{Fault, FaultPlan, Scenario, SchedulerSpec, StorageSpec};
 
 // Re-export so downstream tests can name topologies without an extra import.
 pub use asym_quorum::topology::TopologySpec;

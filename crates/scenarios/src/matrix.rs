@@ -8,7 +8,7 @@
 
 use crate::checks::{run_and_check_all, ScenarioFailure};
 use crate::runner::ScenarioOutcome;
-use crate::spec::{Fault, FaultPlan, Scenario, SchedulerSpec};
+use crate::spec::{Fault, FaultPlan, Scenario, SchedulerSpec, StorageSpec};
 use crate::{ByzAttack, TopologySpec};
 
 /// Measurements of one passed cell.
@@ -140,6 +140,13 @@ impl MatrixReport {
 }
 
 /// A sweep over the cross-product of four axes plus workload knobs.
+///
+/// Fault plans containing an honest [`Fault::Restart`] additionally sweep
+/// the **persistence axis**: one cell per snapshot cadence (paired with
+/// the first storage backend) plus one cell per further storage backend
+/// (paired with the first cadence) — a cross at the defaults rather than a
+/// full product, so the sweep grows linearly in each new axis. Plans
+/// without a write-ahead log run once with the defaults.
 #[derive(Clone, Debug)]
 pub struct Matrix {
     /// Topology families to sweep.
@@ -156,14 +163,23 @@ pub struct Matrix {
     pub blocks_per_process: usize,
     /// Transactions per block.
     pub txs_per_block: usize,
+    /// WAL snapshot cadences for restart plans (first = default; include
+    /// `0` to cover the never-snapshot edge).
+    pub snapshot_cadences: Vec<usize>,
+    /// WAL storage backends for restart plans (first = default).
+    pub restart_storages: Vec<StorageSpec>,
 }
 
 impl Matrix {
-    /// The curated tier-1 sub-matrix: every topology family, the six core
+    /// The curated tier-1 sub-matrix: every topology family, the core
     /// fault kinds (none, crash, mid-run crash, mute, crash-restart,
-    /// Byzantine equivocation), two scheduler families, two seeds. Small
-    /// enough for `cargo test`, wide enough that each axis is exercised
-    /// against each other at least once.
+    /// Byzantine equivocation) plus the adversarial-recovery plans (a peer
+    /// lying to a recovering process, an attacker lying during its *own*
+    /// recovery), two scheduler families plus the hard-starvation
+    /// adversary, two seeds, and the persistence axis (cadence 64 and the
+    /// never-snapshot edge on in-memory WALs, plus a powerloss-injected
+    /// cell). Small enough for `cargo test`, wide enough that each axis is
+    /// exercised against each other at least once.
     pub fn smoke() -> Self {
         Matrix {
             topologies: vec![
@@ -179,21 +195,44 @@ impl Matrix {
                 FaultPlan::none().with(2, Fault::Mute),
                 FaultPlan::none().with(1, Fault::Restart { crash_at: 120, recover_at: 900 }),
                 FaultPlan::none().with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
+                // A Byzantine peer lying to a recovering process: forged
+                // fetch replies race the honest catch-up.
+                FaultPlan::none()
+                    .with(1, Fault::Restart { crash_at: 120, recover_at: 900 })
+                    .with(3, Fault::Byzantine(ByzAttack::ForgeFetchReplies)),
+                // A Byzantine process lying during its *own* recovery:
+                // equivocating re-SENDs + false CONFIRM re-announcements.
+                FaultPlan::none().with(
+                    3,
+                    Fault::ByzantineRestart {
+                        attack: ByzAttack::EquivocateVertices,
+                        crash_at: 40,
+                        recover_at: 600,
+                    },
+                ),
             ],
-            schedulers: vec![SchedulerSpec::Random, SchedulerSpec::Fifo],
+            schedulers: vec![
+                SchedulerSpec::Random,
+                SchedulerSpec::Fifo,
+                SchedulerSpec::Starve { victims: vec![0] },
+            ],
             seeds: vec![1, 2],
             waves: 5,
             blocks_per_process: 1,
             txs_per_block: 2,
+            snapshot_cadences: vec![64, 0],
+            restart_storages: vec![StorageSpec::Mem, StorageSpec::PowerlossMem { seed: 7 }],
         }
     }
 
-    /// The full CI sweep: more sizes per family, all three Byzantine
-    /// attacks (single and multi-attacker, crossed against *every*
-    /// scheduler family including Partition and TargetedDelay), combined
-    /// fault kinds, crash-restart plans, a guild-destroying plan
-    /// (safety-only cells), and all five scheduler families over three
-    /// seeds.
+    /// The full CI sweep: more sizes per family, all Byzantine attacks
+    /// (single and multi-attacker, crossed against *every* scheduler
+    /// family including Partition, TargetedDelay and hard Starvation),
+    /// combined fault kinds, crash-restart plans with the persistence axis
+    /// (cadence sweep incl. never-snapshot, file-backed WALs, powerloss
+    /// injection on both backends), the adversarial-recovery plans (lying
+    /// peer, lying recoverer, both at once), a guild-destroying plan
+    /// (safety-only cells), and three seeds.
     pub fn full() -> Self {
         Matrix {
             topologies: vec![
@@ -233,12 +272,38 @@ impl Matrix {
                     .with(3, Fault::Byzantine(ByzAttack::EquivocateVertices)),
                 // Guild-destroying: beyond-threshold crashes — safety-only.
                 FaultPlan::crash_from_start([1, 2]),
+                // A Byzantine peer lying to a recovering process (forged
+                // fetch replies + false confirmed-wave claims).
+                FaultPlan::none()
+                    .with(1, Fault::Restart { crash_at: 150, recover_at: 1200 })
+                    .with(3, Fault::Byzantine(ByzAttack::ForgeFetchReplies)),
+                // An attacker lying during its own recovery: swapped
+                // equivocating re-SENDs + false CONFIRM re-announcements.
+                FaultPlan::none().with(
+                    3,
+                    Fault::ByzantineRestart {
+                        attack: ByzAttack::EquivocateVertices,
+                        crash_at: 100,
+                        recover_at: 1000,
+                    },
+                ),
+                // Both at once: an honest process recovering while an
+                // attacker "recovers" by poisoning catch-up traffic.
+                FaultPlan::none().with(1, Fault::Restart { crash_at: 150, recover_at: 1300 }).with(
+                    3,
+                    Fault::ByzantineRestart {
+                        attack: ByzAttack::ForgeFetchReplies,
+                        crash_at: 100,
+                        recover_at: 1000,
+                    },
+                ),
             ],
             schedulers: vec![
                 SchedulerSpec::Random,
                 SchedulerSpec::Fifo,
                 SchedulerSpec::RandomLatency { min: 1, max: 25 },
                 SchedulerSpec::TargetedDelay { victims: vec![0] },
+                SchedulerSpec::Starve { victims: vec![0] },
                 SchedulerSpec::Partition {
                     groups: vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7, 8, 9, 10, 11]],
                     heal_at: 600,
@@ -248,6 +313,14 @@ impl Matrix {
             waves: 5,
             blocks_per_process: 1,
             txs_per_block: 2,
+            snapshot_cadences: vec![64, 0],
+            // PowerlossMem is exercised by the smoke matrix; the full sweep
+            // spends its budget on the real-filesystem variants.
+            restart_storages: vec![
+                StorageSpec::Mem,
+                StorageSpec::File,
+                StorageSpec::PowerlossFile { seed: 13 },
+            ],
         }
     }
 
@@ -258,23 +331,46 @@ impl Matrix {
         self.scenarios_and_skips().0
     }
 
+    /// The persistence-axis variants a fault plan sweeps: restart plans
+    /// cross the cadence list with the default storage plus every further
+    /// storage with the default cadence; WAL-less plans run once.
+    fn wal_variants(&self, plan: &FaultPlan) -> Vec<(usize, StorageSpec)> {
+        let default_cadence = self.snapshot_cadences.first().copied().unwrap_or(64);
+        let default_storage = self.restart_storages.first().copied().unwrap_or(StorageSpec::Mem);
+        if plan.restarts().next().is_none() {
+            return vec![(default_cadence, default_storage)];
+        }
+        let mut variants: Vec<(usize, StorageSpec)> =
+            self.snapshot_cadences.iter().map(|c| (*c, default_storage)).collect();
+        variants.extend(self.restart_storages.iter().skip(1).map(|s| (default_cadence, *s)));
+        if variants.is_empty() {
+            variants.push((default_cadence, default_storage));
+        }
+        variants
+    }
+
     fn scenarios_and_skips(&self) -> (Vec<Scenario>, usize) {
         let mut cells = Vec::new();
         let mut skipped = 0;
         for topology in &self.topologies {
             for plan in &self.fault_plans {
+                let variants = self.wal_variants(plan);
                 if plan.max_index().is_some_and(|m| m >= topology.n()) {
-                    skipped += self.schedulers.len() * self.seeds.len();
+                    skipped += self.schedulers.len() * self.seeds.len() * variants.len();
                     continue;
                 }
                 for scheduler in &self.schedulers {
                     for seed in &self.seeds {
-                        cells.push(
-                            Scenario::new(*topology, plan.clone(), scheduler.clone(), *seed)
-                                .waves(self.waves)
-                                .blocks_per_process(self.blocks_per_process)
-                                .txs_per_block(self.txs_per_block),
-                        );
+                        for (cadence, storage) in &variants {
+                            cells.push(
+                                Scenario::new(*topology, plan.clone(), scheduler.clone(), *seed)
+                                    .waves(self.waves)
+                                    .blocks_per_process(self.blocks_per_process)
+                                    .txs_per_block(self.txs_per_block)
+                                    .snapshot_every(*cadence)
+                                    .storage(*storage),
+                            );
+                        }
                     }
                 }
             }
@@ -350,6 +446,31 @@ mod tests {
             m.fault_plans.iter().any(|p| p.restarts().next().is_some()),
             "tier-1 matrix must sweep the crash-restart axis"
         );
+        // The adversarial-recovery axes (this PR's tentpole) stay covered.
+        let cells = m.scenarios();
+        assert!(
+            cells.iter().any(|s| {
+                s.faults.restarts().next().is_some()
+                    && s.faults.byzantine().any(|(_, a)| a == ByzAttack::ForgeFetchReplies)
+            }),
+            "no cell with a Byzantine peer lying to a recovering process"
+        );
+        assert!(
+            cells.iter().any(|s| s.faults.byz_restarts().next().is_some()),
+            "no cell with a Byzantine process lying during its own recovery"
+        );
+        assert!(
+            cells.iter().any(|s| s.storage.is_powerloss() && s.faults.restarts().next().is_some()),
+            "no powerloss-injected restart cell"
+        );
+        assert!(
+            cells.iter().any(|s| s.snapshot_every == 0 && s.faults.restarts().next().is_some()),
+            "the never-snapshot cadence edge is not swept"
+        );
+        assert!(
+            cells.iter().any(|s| s.scheduler.needs_flush()),
+            "no hard-starvation scheduler cell"
+        );
     }
 
     #[test]
@@ -359,7 +480,7 @@ mod tests {
         // cannot silently regress.
         let m = Matrix::full();
         let cells = m.scenarios();
-        for scheduler in ["partition", "targeted-delay", "fifo", "random", "latency"] {
+        for scheduler in ["partition", "targeted-delay", "fifo", "random", "latency", "starve"] {
             assert!(
                 cells.iter().any(|s| {
                     s.scheduler.name() == scheduler && s.faults.byzantine().next().is_some()
@@ -384,6 +505,25 @@ mod tests {
             }),
             "no equivocator+mute colluder cell in the full matrix"
         );
+        // The persistence axis: every configured storage backend and
+        // cadence appears on some restart cell (powerloss-mem lives in the
+        // smoke matrix).
+        for storage in ["mem", "file", "powerloss-file"] {
+            assert!(
+                cells.iter().any(|s| {
+                    s.storage.name() == storage && s.faults.restarts().next().is_some()
+                }),
+                "no restart cell on the {storage} backend"
+            );
+        }
+        assert!(cells.iter().any(|s| s.snapshot_every == 0));
+        // Both-recovering: an honest restart racing a Byzantine restart.
+        assert!(
+            cells.iter().any(|s| {
+                s.faults.restarts().next().is_some() && s.faults.byz_restarts().next().is_some()
+            }),
+            "no cell with honest and Byzantine recovery racing each other"
+        );
     }
 
     #[test]
@@ -396,6 +536,8 @@ mod tests {
             waves: 3,
             blocks_per_process: 1,
             txs_per_block: 1,
+            snapshot_cadences: vec![64],
+            restart_storages: vec![StorageSpec::Mem],
         };
         let (cells, skipped) = m.scenarios_and_skips();
         assert!(cells.is_empty());
@@ -412,11 +554,44 @@ mod tests {
             waves: 4,
             blocks_per_process: 1,
             txs_per_block: 1,
+            snapshot_cadences: vec![64],
+            restart_storages: vec![StorageSpec::Mem],
         };
         let report = m.run();
         assert_eq!(report.cells.len(), 2);
         assert_eq!(report.passed(), 2, "{}", report.render());
         report.assert_all_passed();
         assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn wal_variants_cross_at_the_defaults_not_the_full_product() {
+        let m = Matrix {
+            topologies: vec![TopologySpec::UniformThreshold { n: 4, f: 1 }],
+            fault_plans: vec![
+                FaultPlan::none(),
+                FaultPlan::none().with(1, Fault::Restart { crash_at: 10, recover_at: 100 }),
+            ],
+            schedulers: vec![SchedulerSpec::Fifo],
+            seeds: vec![1],
+            waves: 3,
+            blocks_per_process: 1,
+            txs_per_block: 1,
+            snapshot_cadences: vec![64, 0],
+            restart_storages: vec![StorageSpec::Mem, StorageSpec::File],
+        };
+        let cells = m.scenarios();
+        // 1 (fault-free, defaults only) + restart plan × (2 cadences + 1
+        // extra storage) = 4.
+        assert_eq!(cells.len(), 4);
+        let restart_cells: Vec<_> =
+            cells.iter().filter(|s| s.faults.restarts().next().is_some()).collect();
+        assert_eq!(restart_cells.len(), 3);
+        assert!(restart_cells
+            .iter()
+            .any(|s| s.snapshot_every == 0 && s.storage == StorageSpec::Mem));
+        assert!(restart_cells
+            .iter()
+            .any(|s| s.snapshot_every == 64 && s.storage == StorageSpec::File));
     }
 }

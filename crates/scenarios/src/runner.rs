@@ -6,12 +6,12 @@ use asym_core::{
 use asym_dag::{DagStore, VertexId, WaveId};
 use asym_quorum::topology::{Topology, TopologySpec};
 use asym_quorum::{maximal_guild, ProcessId, ProcessSet};
-use asym_sim::{NetStats, Simulation};
-use asym_storage::{RecoveredState, StorageBackend, WalStats};
+use asym_sim::{NetStats, RunReport, Simulation};
+use asym_storage::{PowerlossPlan, RecoveredState, StorageBackend, WalStats};
 
 use crate::byzantine::{ByzProcess, Party};
 use crate::pid;
-use crate::spec::{Fault, Scenario};
+use crate::spec::{Fault, Scenario, StorageSpec};
 
 /// Why a scenario could not be executed (as opposed to failing a check).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,6 +77,10 @@ pub struct ScenarioOutcome {
     pub wal_replays: Vec<Option<Result<RecoveredState<Block>, String>>>,
     /// WAL activity counters for WAL-equipped processes.
     pub wal_stats: Vec<Option<WalStats>>,
+    /// Per-snapshot blob sizes (in install order) for WAL-equipped
+    /// processes — the `exp_recovery` observable proving pruning keeps the
+    /// sequence bounded (sawtooth) instead of monotonically growing.
+    pub wal_snapshot_sizes: Vec<Option<Vec<u64>>>,
     /// Whether each process actually executed its recovery path (rebuilt
     /// itself from its log).
     pub recovered: Vec<bool>,
@@ -137,7 +141,8 @@ impl Scenario {
             }
         }
 
-        let config = RiderConfig { max_waves: self.waves, ..Default::default() };
+        let config =
+            RiderConfig { max_waves: self.waves, prune_wal: self.prune_wal, ..Default::default() };
         let byz: Vec<Option<crate::ByzAttack>> = (0..n)
             .map(|i| self.faults.byzantine().find(|(b, _)| *b == i).map(|(_, a)| a))
             .collect();
@@ -148,6 +153,11 @@ impl Scenario {
             }
             r
         };
+        // File-backed cells get a unique fresh directory per process per
+        // run invocation (runs of the same cell may execute concurrently —
+        // the determinism checker replays cells while the matrix pool is
+        // still sweeping), removed once the outcome is harvested.
+        let mut temp_dirs: Vec<std::path::PathBuf> = Vec::new();
         let procs: Vec<Party> = (0..n)
             .map(|i| match byz[i] {
                 Some(attack) => Party::Byzantine(ByzProcess::new(pid(i), n, attack)),
@@ -159,10 +169,9 @@ impl Scenario {
                         config,
                     );
                     if restartable[i] {
-                        // A small snapshot cadence keeps the compaction
-                        // path exercised by every restart cell.
                         rider = rider.with_storage(
-                            DagLog::new(StorageBackend::in_memory()).with_snapshot_every(64),
+                            DagLog::new(self.wal_backend(i, &mut temp_dirs))
+                                .with_snapshot_every(self.snapshot_every),
                         );
                     }
                     Party::Honest(rider)
@@ -195,7 +204,17 @@ impl Scenario {
             }
         }
 
-        let report = sim.run(self.max_steps);
+        let mut report = sim.run(self.max_steps);
+        if self.scheduler.needs_flush() {
+            // A hard-starving adversary quiesces with victim traffic still
+            // in flight; "the delayed messages eventually arrive" before
+            // any liveness claim is audited.
+            let flush = sim.flush_starved(self.max_steps.saturating_sub(report.steps));
+            report = RunReport {
+                steps: report.steps + flush.steps,
+                quiescent: report.quiescent && flush.quiescent,
+            };
+        }
 
         let outputs: Vec<Vec<OrderedVertex>> =
             (0..n).map(|i| sim.outputs(pid(i)).to_vec()).collect();
@@ -205,6 +224,7 @@ impl Scenario {
         let mut metrics = Vec::with_capacity(n);
         let mut wal_replays = Vec::with_capacity(n);
         let mut wal_stats = Vec::with_capacity(n);
+        let mut wal_snapshot_sizes = Vec::with_capacity(n);
         let mut recovered = Vec::with_capacity(n);
         for i in 0..n {
             match sim.process(pid(i)).as_honest() {
@@ -215,6 +235,7 @@ impl Scenario {
                     metrics.push(r.metrics());
                     wal_replays.push(r.replay_storage().map(|res| res.map_err(|e| e.to_string())));
                     wal_stats.push(r.storage().map(|l| l.stats()));
+                    wal_snapshot_sizes.push(r.storage().map(|l| l.snapshot_sizes().to_vec()));
                     recovered.push(r.has_recovered());
                 }
                 None => {
@@ -224,9 +245,14 @@ impl Scenario {
                     metrics.push(RiderMetrics::default());
                     wal_replays.push(None);
                     wal_stats.push(None);
+                    wal_snapshot_sizes.push(None);
                     recovered.push(false);
                 }
             }
+        }
+
+        for dir in temp_dirs {
+            let _ = std::fs::remove_dir_all(dir);
         }
 
         let faulty = self.faults.faulty_set();
@@ -244,6 +270,7 @@ impl Scenario {
             metrics,
             wal_replays,
             wal_stats,
+            wal_snapshot_sizes,
             recovered,
             restart_fired: (0..n).map(|i| sim.was_recovered(pid(i))).collect(),
             injected,
@@ -262,6 +289,36 @@ impl Scenario {
     /// Panics on [`ScenarioError`] (unbuildable topology / bad fault index).
     pub fn run(&self) -> ScenarioOutcome {
         self.try_run().unwrap_or_else(|e| panic!("scenario {self} failed to build: {e}"))
+    }
+
+    /// Builds the WAL backend for restart process `i` per the scenario's
+    /// [`StorageSpec`]: in-memory or a fresh temp-dir file store, optionally
+    /// wrapped in the powerloss injector with a per-process damage seed
+    /// respecting the process's fsync barriers.
+    fn wal_backend(&self, i: usize, temp_dirs: &mut Vec<std::path::PathBuf>) -> StorageBackend {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+        let backend = if self.storage.is_file() {
+            let dir = std::env::temp_dir().join(format!(
+                "asym-scn-{}-{}-p{}",
+                std::process::id(),
+                NEXT_DIR.fetch_add(1, Ordering::Relaxed),
+                i
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            temp_dirs.push(dir.clone());
+            StorageBackend::file(&dir).expect("scenario temp dir must be writable")
+        } else {
+            StorageBackend::in_memory()
+        };
+        match self.storage {
+            StorageSpec::PowerlossMem { seed } | StorageSpec::PowerlossFile { seed } => {
+                // Decorrelate damage across processes sharing one cell.
+                let mixed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                backend.with_powerloss(PowerlossPlan::fsync_barriers(mixed, pid(i)))
+            }
+            StorageSpec::Mem | StorageSpec::File => backend,
+        }
     }
 }
 

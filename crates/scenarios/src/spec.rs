@@ -32,6 +32,21 @@ pub enum Fault {
     },
     /// Runs a protocol-level attack instead of the honest state machine.
     Byzantine(ByzAttack),
+    /// A Byzantine process that also crashes and restarts: it mounts its
+    /// attack at start, goes silent after `crash_at` deliveries, and is
+    /// revived at `recover_at` — where it mounts the attack's
+    /// *recovery-time* lies (equivocating re-SENDs, false CONFIRM
+    /// re-announcements, forged catch-up state) instead of an honest
+    /// WAL replay. No write-ahead log is attached: an attacker needs no
+    /// honest storage.
+    ByzantineRestart {
+        /// The mounted attack (start-time and recovery-time halves).
+        attack: ByzAttack,
+        /// Deliveries the attacker handles before crashing.
+        crash_at: u64,
+        /// Global delivery step at which it restarts (lying).
+        recover_at: u64,
+    },
 }
 
 impl Fault {
@@ -42,7 +57,8 @@ impl Fault {
             Fault::Crash => FaultMode::CrashedFromStart,
             Fault::CrashAfter(k) => FaultMode::CrashAfter(*k),
             Fault::Mute => FaultMode::Mute,
-            Fault::Restart { crash_at, recover_at } => {
+            Fault::Restart { crash_at, recover_at }
+            | Fault::ByzantineRestart { crash_at, recover_at, .. } => {
                 FaultMode::RestartAfter { crash_at: *crash_at, recover_at: *recover_at }
             }
             Fault::Byzantine(_) => FaultMode::Correct,
@@ -60,6 +76,9 @@ impl core::fmt::Display for Fault {
                 write!(f, "restart({crash_at}..{recover_at})")
             }
             Fault::Byzantine(a) => write!(f, "byz-{a}"),
+            Fault::ByzantineRestart { attack, crash_at, recover_at } => {
+                write!(f, "byz-restart-{attack}({crash_at}..{recover_at})")
+            }
         }
     }
 }
@@ -121,19 +140,30 @@ impl FaultPlan {
         self.assignments.iter().map(|(i, _)| *i).collect()
     }
 
-    /// The Byzantine assignments only.
+    /// The Byzantine assignments — including attackers that restart
+    /// ([`Fault::ByzantineRestart`]); both run an attacker state machine.
     pub fn byzantine(&self) -> impl Iterator<Item = (usize, ByzAttack)> + '_ {
         self.assignments.iter().filter_map(|(i, f)| match f {
-            Fault::Byzantine(a) => Some((*i, *a)),
+            Fault::Byzantine(a) | Fault::ByzantineRestart { attack: a, .. } => Some((*i, *a)),
             _ => None,
         })
     }
 
-    /// The crash-restart assignments only — the processes the runner equips
-    /// with a write-ahead log.
+    /// The *honest* crash-restart assignments only — the processes the
+    /// runner equips with a write-ahead log. Byzantine restarts are not
+    /// included: an attacker "recovers" by lying, not by replaying.
     pub fn restarts(&self) -> impl Iterator<Item = usize> + '_ {
         self.assignments.iter().filter_map(|(i, f)| match f {
             Fault::Restart { .. } => Some(*i),
+            _ => None,
+        })
+    }
+
+    /// The Byzantine-restart assignments (attackers that crash and revive
+    /// mid-run to lie during their own recovery).
+    pub fn byz_restarts(&self) -> impl Iterator<Item = (usize, ByzAttack)> + '_ {
+        self.assignments.iter().filter_map(|(i, f)| match f {
+            Fault::ByzantineRestart { attack, .. } => Some((*i, *attack)),
             _ => None,
         })
     }
@@ -160,6 +190,65 @@ impl core::fmt::Display for FaultPlan {
     }
 }
 
+/// Where a restart-faulted process's write-ahead log physically lives —
+/// the storage axis of a scenario. Powerloss variants wrap the backend in
+/// [`asym_storage::FaultyStorage`]: the crash deterministically tears the
+/// final append, drops an unsynced suffix (respecting the process's fsync
+/// barriers) or reverts/reorders the latest snapshot rename, and recovery
+/// must still replay a consistent prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageSpec {
+    /// Deterministic in-memory storage — the simulator default.
+    Mem,
+    /// Real `std::fs` files (`wal.log` + `snapshot.bin`) in a per-run
+    /// temporary directory the runner creates and removes.
+    File,
+    /// In-memory storage behind the powerloss injector; `seed` drives the
+    /// damage (decorrelated per process).
+    PowerlossMem {
+        /// Damage seed.
+        seed: u64,
+    },
+    /// File-backed storage behind the powerloss injector.
+    PowerlossFile {
+        /// Damage seed.
+        seed: u64,
+    },
+}
+
+impl StorageSpec {
+    /// Stable family name for sweep tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageSpec::Mem => "mem",
+            StorageSpec::File => "file",
+            StorageSpec::PowerlossMem { .. } => "powerloss-mem",
+            StorageSpec::PowerlossFile { .. } => "powerloss-file",
+        }
+    }
+
+    /// `true` if this spec injects powerloss damage at the crash.
+    pub fn is_powerloss(&self) -> bool {
+        matches!(self, StorageSpec::PowerlossMem { .. } | StorageSpec::PowerlossFile { .. })
+    }
+
+    /// `true` if this spec is backed by real files.
+    pub fn is_file(&self) -> bool {
+        matches!(self, StorageSpec::File | StorageSpec::PowerlossFile { .. })
+    }
+}
+
+impl core::fmt::Display for StorageSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StorageSpec::Mem => write!(f, "mem"),
+            StorageSpec::File => write!(f, "file"),
+            StorageSpec::PowerlossMem { seed } => write!(f, "powerloss-mem(seed={seed})"),
+            StorageSpec::PowerlossFile { seed } => write!(f, "powerloss-file(seed={seed})"),
+        }
+    }
+}
+
 /// A delivery-adversary family; the scenario seed supplies its randomness.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SchedulerSpec {
@@ -176,6 +265,15 @@ pub enum SchedulerSpec {
     },
     /// Messages to/from the victims are starved as long as possible.
     TargetedDelay {
+        /// Victim process indices.
+        victims: Vec<usize>,
+    },
+    /// Messages to/from the victims are starved **forever** (the
+    /// Appendix-A starvation shape): the run quiesces with victim traffic
+    /// still in flight, and the runner then flushes it FIFO
+    /// ([`asym_sim::Simulation::flush_starved`] — "the delayed messages
+    /// eventually arrive") before the checker suite applies.
+    Starve {
         /// Victim process indices.
         victims: Vec<usize>,
     },
@@ -200,6 +298,9 @@ impl SchedulerSpec {
             SchedulerSpec::TargetedDelay { victims } => {
                 Adversary::TargetedDelay(victims.iter().copied().collect())
             }
+            SchedulerSpec::Starve { victims } => {
+                Adversary::Starve(victims.iter().copied().collect())
+            }
             SchedulerSpec::Partition { groups, heal_at } => Adversary::Partition {
                 groups: groups.iter().map(|g| g.iter().copied().collect()).collect(),
                 heal_at: *heal_at,
@@ -214,8 +315,17 @@ impl SchedulerSpec {
             SchedulerSpec::Random => "random",
             SchedulerSpec::RandomLatency { .. } => "latency",
             SchedulerSpec::TargetedDelay { .. } => "targeted-delay",
+            SchedulerSpec::Starve { .. } => "starve",
             SchedulerSpec::Partition { .. } => "partition",
         }
+    }
+
+    /// `true` if this adversary deliberately never quiesces on its own, so
+    /// the runner must deliver the starved remainder
+    /// ([`asym_sim::Simulation::flush_starved`]) before liveness checkers
+    /// are meaningful.
+    pub fn needs_flush(&self) -> bool {
+        matches!(self, SchedulerSpec::Starve { .. })
     }
 }
 
@@ -228,6 +338,7 @@ impl core::fmt::Display for SchedulerSpec {
             SchedulerSpec::TargetedDelay { victims } => {
                 write!(f, "targeted-delay({victims:?})")
             }
+            SchedulerSpec::Starve { victims } => write!(f, "starve({victims:?})"),
             SchedulerSpec::Partition { groups, heal_at } => {
                 write!(f, "partition({groups:?},heal={heal_at})")
             }
@@ -255,11 +366,19 @@ pub struct Scenario {
     pub txs_per_block: usize,
     /// Delivery-step budget.
     pub max_steps: u64,
+    /// Snapshot cadence of restart-faulted processes' write-ahead logs
+    /// (`0` = never snapshot; replay then folds the entire log).
+    pub snapshot_every: usize,
+    /// Storage backend of restart-faulted processes' write-ahead logs.
+    pub storage: StorageSpec,
+    /// Garbage-collect delivered prefixes at snapshot time (WAL pruning).
+    pub prune_wal: bool,
 }
 
 impl Scenario {
     /// A scenario with the default workload (6 waves, 1 block of 2 txs per
-    /// process, 500M-step budget).
+    /// process, 500M-step budget) and the default persistence axis
+    /// (in-memory WAL, snapshot every 64 records, pruning on).
     pub fn new(
         topology: TopologySpec,
         faults: FaultPlan,
@@ -275,6 +394,9 @@ impl Scenario {
             blocks_per_process: 1,
             txs_per_block: 2,
             max_steps: 500_000_000,
+            snapshot_every: 64,
+            storage: StorageSpec::Mem,
+            prune_wal: true,
         }
     }
 
@@ -302,6 +424,24 @@ impl Scenario {
         self
     }
 
+    /// Overrides the WAL snapshot cadence (builder-style; `0` = never).
+    pub fn snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Overrides the WAL storage backend (builder-style).
+    pub fn storage(mut self, storage: StorageSpec) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Enables or disables WAL pruning (builder-style).
+    pub fn prune_wal(mut self, prune: bool) -> Self {
+        self.prune_wal = prune;
+        self
+    }
+
     /// The shared coin seed: derived from the scenario seed but decorrelated
     /// from the scheduler's RNG stream.
     pub fn coin_seed(&self) -> u64 {
@@ -309,17 +449,25 @@ impl Scenario {
     }
 
     /// The human-readable `(topology, fault plan, scheduler, seed)` cell
-    /// label printed by sweep tables and failure reports.
+    /// label printed by sweep tables and failure reports. Cells with a
+    /// write-ahead log (any restart fault) also name the persistence axis.
     pub fn cell(&self) -> String {
-        format!(
+        let mut cell = format!(
             "(topology={}, faults={}, scheduler={}, seed={})",
             self.topology, self.faults, self.scheduler, self.seed
-        )
+        );
+        if self.faults.restarts().next().is_some() {
+            cell.push_str(&format!(
+                " wal=({}, every={}, prune={})",
+                self.storage, self.snapshot_every, self.prune_wal
+            ));
+        }
+        cell
     }
 
     /// A copy-pasteable reproduction of this scenario: a constructor
     /// expression that compiles verbatim under
-    /// `use asym_scenarios::{ByzAttack, Fault, FaultPlan, Scenario, SchedulerSpec, TopologySpec};`
+    /// `use asym_scenarios::{ByzAttack, Fault, FaultPlan, Scenario, SchedulerSpec, StorageSpec, TopologySpec};`
     /// and rebuilds an equal `Scenario`.
     pub fn repro(&self) -> String {
         let faults = if self.faults.assignments().is_empty() {
@@ -338,6 +486,10 @@ impl Scenario {
                             "Fault::Restart {{ crash_at: {crash_at}, recover_at: {recover_at} }}"
                         ),
                         Fault::Byzantine(a) => format!("Fault::Byzantine(ByzAttack::{a:?})"),
+                        Fault::ByzantineRestart { attack, crash_at, recover_at } => format!(
+                            "Fault::ByzantineRestart {{ attack: ByzAttack::{attack:?}, \
+                             crash_at: {crash_at}, recover_at: {recover_at} }}"
+                        ),
                     };
                     format!("({i}, {fault})")
                 })
@@ -353,6 +505,9 @@ impl Scenario {
             SchedulerSpec::TargetedDelay { victims } => {
                 format!("SchedulerSpec::TargetedDelay {{ victims: vec!{victims:?} }}")
             }
+            SchedulerSpec::Starve { victims } => {
+                format!("SchedulerSpec::Starve {{ victims: vec!{victims:?} }}")
+            }
             SchedulerSpec::Partition { groups, heal_at } => {
                 let groups: Vec<String> = groups.iter().map(|g| format!("vec!{g:?}")).collect();
                 format!(
@@ -363,13 +518,17 @@ impl Scenario {
         };
         format!(
             "Scenario::new(TopologySpec::{:?}, {faults}, {scheduler}, {}).waves({})\
-             .blocks_per_process({}).txs_per_block({}).max_steps({})",
+             .blocks_per_process({}).txs_per_block({}).max_steps({}).snapshot_every({})\
+             .storage(StorageSpec::{:?}).prune_wal({})",
             self.topology,
             self.seed,
             self.waves,
             self.blocks_per_process,
             self.txs_per_block,
-            self.max_steps
+            self.max_steps,
+            self.snapshot_every,
+            self.storage,
+            self.prune_wal
         )
     }
 }
@@ -431,6 +590,82 @@ mod tests {
     }
 
     #[test]
+    fn byzantine_restart_fault_is_both_byzantine_and_restarting() {
+        let plan = FaultPlan::none().with(
+            3,
+            Fault::ByzantineRestart {
+                attack: ByzAttack::EquivocateVertices,
+                crash_at: 100,
+                recover_at: 800,
+            },
+        );
+        assert_eq!(
+            plan.assignments()[0].1.network_mode(),
+            FaultMode::RestartAfter { crash_at: 100, recover_at: 800 }
+        );
+        assert_eq!(plan.byzantine().count(), 1, "an attacker even while restarting");
+        assert_eq!(plan.restarts().count(), 0, "no WAL for attackers");
+        assert_eq!(
+            plan.byz_restarts().collect::<Vec<_>>(),
+            vec![(3, ByzAttack::EquivocateVertices)]
+        );
+        assert_eq!(plan.to_string(), "byz-restart-equivocate(100..800)(p3)");
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            plan,
+            SchedulerSpec::Fifo,
+            1,
+        );
+        assert!(s.repro().contains(
+            "Fault::ByzantineRestart { attack: ByzAttack::EquivocateVertices, crash_at: 100, \
+             recover_at: 800 }"
+        ));
+    }
+
+    #[test]
+    fn starve_scheduler_needs_flush_and_reproduces() {
+        let spec = SchedulerSpec::Starve { victims: vec![1, 2] };
+        assert!(spec.needs_flush());
+        assert!(!SchedulerSpec::Random.needs_flush());
+        assert!(!SchedulerSpec::TargetedDelay { victims: vec![1] }.needs_flush());
+        assert_eq!(spec.name(), "starve");
+        assert_eq!(
+            spec.adversary(4),
+            Adversary::Starve(asym_quorum::ProcessSet::from_indices([1, 2]))
+        );
+        let s = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none(),
+            spec,
+            4,
+        );
+        assert!(s.repro().contains("SchedulerSpec::Starve { victims: vec![1, 2] }"));
+    }
+
+    #[test]
+    fn restart_cells_name_the_persistence_axis() {
+        let plain = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none(),
+            SchedulerSpec::Fifo,
+            1,
+        );
+        assert!(!plain.cell().contains("wal="), "no WAL, no axis: {}", plain.cell());
+        let restart = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none().with(1, Fault::Restart { crash_at: 10, recover_at: 90 }),
+            SchedulerSpec::Fifo,
+            1,
+        )
+        .storage(StorageSpec::PowerlossMem { seed: 3 })
+        .snapshot_every(8);
+        let cell = restart.cell();
+        for needle in ["wal=(powerloss-mem(seed=3)", "every=8", "prune=true"] {
+            assert!(cell.contains(needle), "{cell} missing {needle}");
+        }
+    }
+
+    #[test]
     fn scheduler_spec_builds_seeded_adversary() {
         assert_eq!(SchedulerSpec::Random.adversary(9), Adversary::Random(9));
         assert_eq!(
@@ -475,14 +710,18 @@ mod tests {
         .waves(5)
         .blocks_per_process(1)
         .txs_per_block(2)
-        .max_steps(500000000);
+        .max_steps(500000000)
+        .snapshot_every(64)
+        .storage(StorageSpec::Mem)
+        .prune_wal(true);
         assert_eq!(rebuilt, scenario);
         assert_eq!(
             scenario.repro(),
             "Scenario::new(TopologySpec::StellarTiers { n: 8, core: 4, f_core: 1 }, \
              FaultPlan::new([(2, Fault::Mute), (5, Fault::Byzantine(ByzAttack::ConfirmFlood))]), \
              SchedulerSpec::TargetedDelay { victims: vec![0, 1] }, 13).waves(5)\
-             .blocks_per_process(1).txs_per_block(2).max_steps(500000000)"
+             .blocks_per_process(1).txs_per_block(2).max_steps(500000000).snapshot_every(64)\
+             .storage(StorageSpec::Mem).prune_wal(true)"
         );
         assert_eq!(
             Scenario::new(
@@ -491,10 +730,14 @@ mod tests {
                 SchedulerSpec::Random,
                 7,
             )
+            .storage(StorageSpec::PowerlossFile { seed: 9 })
+            .snapshot_every(0)
+            .prune_wal(false)
             .repro(),
             "Scenario::new(TopologySpec::UniformThreshold { n: 4, f: 1 }, FaultPlan::none(), \
              SchedulerSpec::Random, 7).waves(6).blocks_per_process(1).txs_per_block(2)\
-             .max_steps(500000000)"
+             .max_steps(500000000).snapshot_every(0)\
+             .storage(StorageSpec::PowerlossFile { seed: 9 }).prune_wal(false)"
         );
     }
 

@@ -27,6 +27,10 @@ pub enum Adversary {
     },
     /// Messages to/from the victims are starved as long as possible.
     TargetedDelay(ProcessSet),
+    /// Messages to/from the victims are starved **forever** (the run
+    /// quiesces with them still in flight); pair with
+    /// [`crate::Simulation::flush_starved`].
+    Starve(ProcessSet),
     /// Cross-group messages are blocked until `heal_at` (delivery steps).
     Partition {
         /// The isolated groups.
@@ -49,6 +53,7 @@ impl Adversary {
             Adversary::TargetedDelay(victims) => {
                 Box::new(scheduler::TargetedDelay::new(victims.clone()))
             }
+            Adversary::Starve(victims) => Box::new(scheduler::Starve::new(victims.clone())),
             Adversary::Partition { groups, heal_at } => {
                 Box::new(scheduler::Partition::new(groups.clone(), *heal_at))
             }
@@ -65,6 +70,7 @@ impl core::fmt::Display for Adversary {
                 write!(f, "latency(seed={seed},{min}..={max})")
             }
             Adversary::TargetedDelay(victims) => write!(f, "targeted-delay({victims})"),
+            Adversary::Starve(victims) => write!(f, "starve({victims})"),
             Adversary::Partition { groups, heal_at } => {
                 write!(f, "partition(heal_at={heal_at},groups=[")?;
                 for (i, g) in groups.iter().enumerate() {

@@ -239,6 +239,35 @@ impl<M> Scheduler<M> for Partition {
     }
 }
 
+/// Starves every message to or from the `victims` **forever**: unlike
+/// [`TargetedDelay`] it never falls back to delivering victim traffic, so
+/// the run quiesces with victim messages still pending — the Appendix-A
+/// starvation shape as a plain-data adversary. Harnesses must follow up
+/// with [`crate::Simulation::flush_starved`] ("the delayed messages
+/// eventually arrive") before checking liveness properties.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Starve {
+    victims: ProcessSet,
+}
+
+impl Starve {
+    /// Creates a hard-starvation adversary against the given victims.
+    pub fn new(victims: ProcessSet) -> Self {
+        Starve { victims }
+    }
+}
+
+impl<M> Scheduler<M> for Starve {
+    fn next(&mut self, pending: &[InFlight<M>], _now: Step) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !self.victims.contains(m.from) && !self.victims.contains(m.to))
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+    }
+}
+
 /// Delivers (oldest-first) only messages satisfying a predicate; the rest are
 /// starved until [`crate::Simulation::flush_starved`] or forever. This is the
 /// scheduler used to realize the paper's Appendix-A execution, where every
@@ -354,6 +383,17 @@ mod tests {
         assert_eq!(Scheduler::<u8>::next(&mut s, &pending, 5), Some(0));
         assert!(s.healed());
         assert_eq!(Scheduler::<u8>::next(&mut s, &[], 6), None);
+    }
+
+    #[test]
+    fn starve_never_delivers_victim_traffic() {
+        let mut s = Starve::new(ProcessSet::from_indices([2]));
+        let pending = vec![msg(0, 2, 1), msg(1, 0, 1), msg(2, 1, 2)];
+        assert_eq!(Scheduler::<u8>::next(&mut s, &pending, 0), Some(1));
+        // Unlike TargetedDelay there is NO fallback: victim-only traffic
+        // starves forever.
+        let pending = vec![msg(0, 2, 1), msg(2, 1, 2)];
+        assert_eq!(Scheduler::<u8>::next(&mut s, &pending, 0), None);
     }
 
     #[test]

@@ -93,6 +93,20 @@ pub trait Storage {
     ///
     /// [`StorageError::Io`] if the medium cannot be read.
     fn read_snapshot(&self) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Models the volatile-state loss of a power failure at the instant the
+    /// hosting process crashed — called once by a recovering owner *before*
+    /// it replays. Durable backends lose nothing and do nothing (the
+    /// default); fault-injecting wrappers
+    /// ([`FaultyStorage`](crate::FaultyStorage)) apply their configured
+    /// damage here.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] if applying the modelled damage itself fails.
+    fn powerloss(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// Deterministic in-memory backend: the simulator's default.
@@ -257,6 +271,8 @@ pub enum StorageBackend {
     Mem(MemStorage),
     /// File-backed storage.
     File(FileStorage),
+    /// Powerloss-injecting wrapper around either backend.
+    Faulty(Box<crate::FaultyStorage<StorageBackend>>),
 }
 
 impl StorageBackend {
@@ -273,6 +289,13 @@ impl StorageBackend {
     pub fn file(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
         Ok(StorageBackend::File(FileStorage::open(dir)?))
     }
+
+    /// Wraps this backend in a [`FaultyStorage`](crate::FaultyStorage):
+    /// the next [`Storage::powerloss`] applies `plan`'s damage.
+    #[must_use]
+    pub fn with_powerloss(self, plan: crate::PowerlossPlan) -> Self {
+        StorageBackend::Faulty(Box::new(crate::FaultyStorage::new(self, plan)))
+    }
 }
 
 impl Storage for StorageBackend {
@@ -280,6 +303,7 @@ impl Storage for StorageBackend {
         match self {
             StorageBackend::Mem(s) => s.append_log(bytes),
             StorageBackend::File(s) => s.append_log(bytes),
+            StorageBackend::Faulty(s) => s.append_log(bytes),
         }
     }
 
@@ -287,6 +311,7 @@ impl Storage for StorageBackend {
         match self {
             StorageBackend::Mem(s) => s.read_log(),
             StorageBackend::File(s) => s.read_log(),
+            StorageBackend::Faulty(s) => s.read_log(),
         }
     }
 
@@ -294,6 +319,7 @@ impl Storage for StorageBackend {
         match self {
             StorageBackend::Mem(s) => s.replace_log(bytes),
             StorageBackend::File(s) => s.replace_log(bytes),
+            StorageBackend::Faulty(s) => s.replace_log(bytes),
         }
     }
 
@@ -301,6 +327,7 @@ impl Storage for StorageBackend {
         match self {
             StorageBackend::Mem(s) => s.write_snapshot(bytes),
             StorageBackend::File(s) => s.write_snapshot(bytes),
+            StorageBackend::Faulty(s) => s.write_snapshot(bytes),
         }
     }
 
@@ -308,6 +335,14 @@ impl Storage for StorageBackend {
         match self {
             StorageBackend::Mem(s) => s.read_snapshot(),
             StorageBackend::File(s) => s.read_snapshot(),
+            StorageBackend::Faulty(s) => s.read_snapshot(),
+        }
+    }
+
+    fn powerloss(&mut self) -> Result<(), StorageError> {
+        match self {
+            StorageBackend::Mem(_) | StorageBackend::File(_) => Ok(()),
+            StorageBackend::Faulty(s) => s.powerloss(),
         }
     }
 }

@@ -63,12 +63,23 @@ pub enum DagEvent<B> {
         /// The wave whose commit ordered it.
         wave: WaveId,
     },
+    /// Garbage-collection marker: *delivered* vertices in rounds
+    /// `<= up_to_round` may have been dropped from this snapshot. Replay
+    /// sets the DAG's pruned floor so surviving vertices whose parents fell
+    /// below the floor still insert; the delivered set and commit log are
+    /// never pruned, so re-delivery stays impossible. Emitted first in a
+    /// pruned snapshot; never written to the log tail by a live process.
+    Pruned {
+        /// Rounds at or below this may be missing delivered vertices.
+        up_to_round: Round,
+    },
 }
 
 const TAG_VERTEX: u8 = 1;
 const TAG_CONFIRMED: u8 = 2;
 const TAG_DECIDED: u8 = 3;
 const TAG_DELIVERED: u8 = 4;
+const TAG_PRUNED: u8 = 5;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -161,6 +172,10 @@ impl<B: BlockCodec> DagEvent<B> {
                 put_vid(&mut out, *id);
                 put_u64(&mut out, *wave);
             }
+            DagEvent::Pruned { up_to_round } => {
+                out.push(TAG_PRUNED);
+                put_u64(&mut out, *up_to_round);
+            }
         }
         out
     }
@@ -218,9 +233,44 @@ impl<B: BlockCodec> DagEvent<B> {
             TAG_CONFIRMED => DagEvent::WaveConfirmed { wave: r.u64()? },
             TAG_DECIDED => DagEvent::WaveDecided { wave: r.u64()?, leader: r.vid()? },
             TAG_DELIVERED => DagEvent::BlockDelivered { id: r.vid()?, wave: r.u64()? },
+            TAG_PRUNED => DagEvent::Pruned { up_to_round: r.u64()? },
             _ => return None,
         };
         (r.remaining() == 0).then_some(event)
+    }
+}
+
+/// Classifies one encoded WAL payload for the powerloss fault model: `true`
+/// when losing this record in a crash is *observationally safe* for process
+/// `me` — the event carries state that was never externalized, so a correct
+/// process recovers a consistent (merely older) view without it.
+///
+/// The classification encodes the fsync barriers a production process must
+/// honor:
+///
+/// * another process's vertex ([`DagEvent::VertexInserted`]) — volatile:
+///   the recovery fetch re-obtains it from peers;
+/// * a `tReady` milestone ([`DagEvent::WaveConfirmed`]) — volatile: the
+///   control ladder re-runs idempotently;
+/// * **own** vertices — a barrier: a process must fsync its own vertex
+///   before broadcasting it, or a restart would mint a *different* vertex
+///   for an already-used round (honest equivocation);
+/// * decisions and deliveries ([`DagEvent::WaveDecided`],
+///   [`DagEvent::BlockDelivered`]) — barriers: they are persisted *before*
+///   the delivery is handed to the environment, and a delivery the
+///   application saw must survive the crash or it would be re-delivered;
+/// * malformed payloads and [`DagEvent::Pruned`] markers — barriers
+///   (conservative: never widen the damage window on bytes we do not
+///   understand).
+#[must_use]
+pub fn payload_is_volatile(payload: &[u8], me: ProcessId) -> bool {
+    match payload.first() {
+        Some(&TAG_CONFIRMED) => true,
+        Some(&TAG_VERTEX) => {
+            let mut r = Reader::new(&payload[1..]);
+            r.u64().and_then(|s| usize::try_from(s).ok()).is_some_and(|s| s != me.index())
+        }
+        _ => false,
     }
 }
 
@@ -250,6 +300,7 @@ mod tests {
             DagEvent::WaveConfirmed { wave: 3 },
             DagEvent::WaveDecided { wave: 2, leader: VertexId::new(5, pid(1)) },
             DagEvent::BlockDelivered { id: VertexId::new(4, pid(2)), wave: 2 },
+            DagEvent::Pruned { up_to_round: 8 },
         ];
         for ev in events {
             let bytes = ev.encode();
@@ -292,6 +343,34 @@ mod tests {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
         assert_eq!(DagEvent::<Vec<u8>>::decode(&bytes), None);
+    }
+
+    #[test]
+    fn volatility_classification_follows_the_fsync_barriers() {
+        let me = pid(2);
+        // Another process's vertex: volatile (refetched on recovery).
+        let other = DagEvent::VertexInserted(sample_vertex_from(pid(3))).encode();
+        assert!(payload_is_volatile(&other, me));
+        // My own vertex: a barrier (fsync-before-broadcast).
+        let own = DagEvent::VertexInserted(sample_vertex_from(me)).encode();
+        assert!(!payload_is_volatile(&own, me));
+        // tReady: volatile; decisions/deliveries/prune markers: barriers.
+        assert!(payload_is_volatile(&DagEvent::<Vec<u8>>::WaveConfirmed { wave: 2 }.encode(), me));
+        let decided =
+            DagEvent::<Vec<u8>>::WaveDecided { wave: 2, leader: VertexId::new(5, pid(0)) };
+        assert!(!payload_is_volatile(&decided.encode(), me));
+        let delivered =
+            DagEvent::<Vec<u8>>::BlockDelivered { id: VertexId::new(4, pid(0)), wave: 1 };
+        assert!(!payload_is_volatile(&delivered.encode(), me));
+        assert!(!payload_is_volatile(&DagEvent::<Vec<u8>>::Pruned { up_to_round: 4 }.encode(), me));
+        // Garbage: a barrier, never widening the damage window.
+        assert!(!payload_is_volatile(&[], me));
+        assert!(!payload_is_volatile(&[99, 1, 2], me));
+        assert!(!payload_is_volatile(&[TAG_VERTEX, 3], me), "truncated source field");
+    }
+
+    fn sample_vertex_from(source: ProcessId) -> Vertex<Vec<u8>> {
+        Vertex::new(source, 5, vec![7], ProcessSet::from_indices([0, 1, 3]), vec![])
     }
 
     #[test]

@@ -21,7 +21,18 @@
 //! * [`RecoveredState`] — replay: fold snapshot + log back into a
 //!   [`DagStore`](asym_dag::DagStore), the delivered set, the commit log
 //!   and the confirmed-wave set, so a restarted process rejoins without
-//!   ever delivering a block twice.
+//!   ever delivering a block twice;
+//! * **WAL pruning** — [`RecoveredState::prune_delivered`] /
+//!   [`prune_dag`] garbage-collect the delivered-prefix *vertices* (the
+//!   [`DagEvent::Pruned`] marker makes pruned snapshots self-describing),
+//!   the way production DAG BFTs bound their stores; the delivered-set
+//!   ids themselves are retained — they are what blocks re-delivery — so
+//!   snapshots shrink to frontier-plus-bookkeeping rather than a hard
+//!   constant bound;
+//! * [`FaultyStorage`] — deterministic powerloss injection (torn final
+//!   append, dropped unsynced suffix, lost/reordered snapshot rename)
+//!   behind the [`Storage::powerloss`] hook, so crash-recovery is tested
+//!   against what real disks do, not only clean shutdowns.
 //!
 //! The consensus crate (`asym-core`) implements [`BlockCodec`] for its
 //! block type and drives the log from its insert/deliver/decide hooks; the
@@ -56,12 +67,14 @@
 
 mod backend;
 mod event;
+mod fault;
 mod replay;
 mod wal;
 
 pub use backend::{FileStorage, MemStorage, Storage, StorageBackend, StorageError};
-pub use event::{BlockCodec, DagEvent};
-pub use replay::{snapshot_events, EventLog, ReadEvents, RecoveredState};
+pub use event::{payload_is_volatile, BlockCodec, DagEvent};
+pub use fault::{FaultyStorage, PowerlossPlan, VolatilePolicy};
+pub use replay::{prune_dag, snapshot_events, EventLog, ReadEvents, RecoveredState};
 pub use wal::{
     checksum, decode_area, frame_record, DecodedArea, Wal, WalContents, WalStats,
     DEFAULT_SNAPSHOT_EVERY, RECORD_HEADER_BYTES,

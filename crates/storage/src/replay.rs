@@ -122,6 +122,34 @@ impl<B: BlockCodec + Clone, S: Storage> EventLog<B, S> {
         self.wal.stats()
     }
 
+    /// Size of every snapshot installed through this handle, in order.
+    pub fn snapshot_sizes(&self) -> &[u64] {
+        self.wal.snapshot_sizes()
+    }
+
+    /// Applies the backend's modelled powerloss damage — a no-op for the
+    /// durable backends, the injection point for
+    /// [`FaultyStorage`](crate::FaultyStorage). A recovering owner calls
+    /// this once before replaying.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] if applying the modelled damage itself fails.
+    pub fn powerloss(&mut self) -> Result<(), StorageError> {
+        self.wal.backend_mut().powerloss()
+    }
+
+    /// Truncates a torn final record off the log (see
+    /// [`Wal::repair_torn_tail`]) — mandatory before a recovered owner
+    /// appends again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corruption and I/O errors from the repair.
+    pub fn repair_torn_tail(&mut self) -> Result<usize, StorageError> {
+        self.wal.repair_torn_tail()
+    }
+
     /// The backend (test hooks: truncation, corruption).
     pub fn backend_mut(&mut self) -> &mut S {
         self.wal.backend_mut()
@@ -162,6 +190,10 @@ pub struct RecoveredState<B> {
     pub decided_wave: WaveId,
     /// Waves whose CONFIRM quorum (`tReady`) had been observed.
     pub confirmed_waves: BTreeSet<WaveId>,
+    /// The pruning floor inherited from the snapshot: delivered vertices in
+    /// rounds `<= pruned_round` may be absent from `dag` (they were
+    /// garbage-collected after delivery). `0` = nothing pruned.
+    pub pruned_round: Round,
     /// Total events folded in.
     pub events_total: usize,
     /// Events that came from the snapshot area.
@@ -195,10 +227,36 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
             commit_log: Vec::new(),
             decided_wave: 0,
             confirmed_waves: BTreeSet::new(),
+            pruned_round: 0,
             events_total: read.events.len(),
             events_from_snapshot: read.from_snapshot,
             torn_tail_bytes: read.torn_tail_bytes,
         };
+        // Pre-pass: reconstruct the pruned set. An id the log *delivers*
+        // but never *inserts* was garbage-collected after delivery — its
+        // children must still insert, and only those exact ids may be
+        // excused (a round-based floor would also excuse vertices this
+        // process simply never received).
+        {
+            let mut inserted = BTreeSet::new();
+            let mut delivered_ids = BTreeSet::new();
+            for event in &read.events {
+                match event {
+                    DagEvent::VertexInserted(v) => {
+                        inserted.insert(v.id());
+                    }
+                    DagEvent::BlockDelivered { id, .. } => {
+                        delivered_ids.insert(*id);
+                    }
+                    _ => {}
+                }
+            }
+            for id in delivered_ids.difference(&inserted) {
+                if id.round > 0 {
+                    state.dag.note_pruned(*id);
+                }
+            }
+        }
         for (i, event) in read.events.iter().enumerate() {
             match event {
                 DagEvent::VertexInserted(v) => {
@@ -234,8 +292,20 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
                 DagEvent::BlockDelivered { id, .. } => {
                     state.delivered.insert(*id);
                 }
+                DagEvent::Pruned { up_to_round } => {
+                    // Floor metadata (the pruned *ids* were reconstructed
+                    // in the pre-pass above).
+                    state.dag.set_pruned_floor(*up_to_round);
+                }
             }
         }
+        state.pruned_round = state.dag.pruned_floor();
+        // A pruned own prefix must never shrink the round counter: reusing
+        // a round number after recovery would be honest equivocation. The
+        // pruning policy only drops rounds strictly below the decided
+        // wave's span, so retained own vertices normally dominate; the max
+        // is the defensive backstop.
+        state.own_round = state.own_round.max(state.pruned_round);
         Ok(state)
     }
 
@@ -244,7 +314,10 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
     ///
     /// Vertices are emitted in `(round, source)` order (parents always
     /// precede children), then confirmed waves, then the commit log in
-    /// order, then the delivered set.
+    /// order, then the delivered set. A state recovered from a pruned
+    /// snapshot keeps its [`DagEvent::Pruned`] marker (the DAG carries the
+    /// floor), so re-compacting never silently promises vertices the DAG no
+    /// longer holds.
     pub fn to_snapshot_events(&self) -> Vec<DagEvent<B>> {
         snapshot_events(
             &self.dag,
@@ -253,16 +326,51 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
             self.delivered.iter().copied(),
         )
     }
+
+    /// Garbage-collects the delivered prefix: drops every *delivered*
+    /// vertex in rounds `<= up_to_round` from the DAG and ratchets the
+    /// pruning floor. The delivered set, commit log and confirmed waves are
+    /// untouched — they are what keeps re-delivery impossible — so replay
+    /// of a subsequently compacted snapshot reproduces exactly this state.
+    /// Undelivered old vertices are retained: they may still enter a later
+    /// leader's causal history via weak edges (and every path to an
+    /// undelivered vertex runs through undelivered vertices only — a
+    /// delivered intermediate would have delivered its whole ancestry —
+    /// so pruning the delivered set can never hide one).
+    pub fn prune_delivered(&mut self, up_to_round: Round) {
+        prune_dag(&mut self.dag, &self.delivered, up_to_round);
+        self.pruned_round = self.dag.pruned_floor();
+    }
+}
+
+/// Drops every *delivered* vertex in rounds `<= up_to_round` from `dag`,
+/// recording each pruned identity — the in-place half of WAL pruning,
+/// shared by [`RecoveredState::prune_delivered`] and live snapshot
+/// compaction. Undelivered old vertices are untouched.
+pub fn prune_dag<B>(dag: &mut DagStore<B>, delivered: &BTreeSet<VertexId>, up_to_round: Round) {
+    if up_to_round == 0 {
+        return;
+    }
+    let prunable: Vec<VertexId> = (1..=up_to_round.min(dag.max_round().unwrap_or(0)))
+        .flat_map(|r| dag.vertices_in_round(r).map(|v| v.id()).collect::<Vec<_>>())
+        .filter(|id| delivered.contains(id))
+        .collect();
+    for id in prunable {
+        dag.prune(id);
+    }
+    dag.set_pruned_floor(up_to_round);
 }
 
 /// Compacts consensus state into the canonical snapshot event sequence —
 /// the single definition of the snapshot ordering contract, shared by
 /// [`RecoveredState::to_snapshot_events`] and by live processes that
-/// compact without materializing a `RecoveredState`. Vertices come first in
-/// `(round, source)` order (parents always precede children), then the
-/// confirmed waves and the commit log in order, then the delivered set
-/// (sorted; the ordering wave is not part of the durable delivered set, so
-/// it is stored as `0` and ignored on replay).
+/// compact without materializing a `RecoveredState`. A pruned DAG
+/// (non-zero [`DagStore::pruned_floor`]) leads with its
+/// [`DagEvent::Pruned`] marker; then vertices in `(round, source)` order
+/// (parents always precede children), then the confirmed waves and the
+/// commit log in order, then the delivered set (sorted; the ordering wave
+/// is not part of the durable delivered set, so it is stored as `0` and
+/// ignored on replay).
 pub fn snapshot_events<B: Clone>(
     dag: &DagStore<B>,
     confirmed_waves: impl IntoIterator<Item = WaveId>,
@@ -270,6 +378,9 @@ pub fn snapshot_events<B: Clone>(
     delivered: impl IntoIterator<Item = VertexId>,
 ) -> Vec<DagEvent<B>> {
     let mut events = Vec::new();
+    if dag.pruned_floor() > 0 {
+        events.push(DagEvent::Pruned { up_to_round: dag.pruned_floor() });
+    }
     for r in 1..=dag.max_round().unwrap_or(0) {
         for v in dag.vertices_in_round(r) {
             events.push(DagEvent::VertexInserted(v.clone()));
@@ -380,6 +491,73 @@ mod tests {
         assert_eq!(re.dag.len(), state.dag.len());
         assert_eq!(re.commit_log, state.commit_log);
         assert_eq!(re.delivered, state.delivered);
+    }
+
+    #[test]
+    fn pruned_snapshot_replays_to_post_prefix_state() {
+        // Build 8 rounds, deliver everything in rounds <= 4, prune, compact
+        // and replay: the pruned snapshot must reproduce the post-prefix
+        // state exactly and be strictly smaller than the unpruned one.
+        let log = populated_log(8);
+        let mut state = log.replay(4, pid(1), Vec::new()).unwrap();
+        for r in 1..=4u64 {
+            for i in 0..4 {
+                state.delivered.insert(VertexId::new(r, pid(i)));
+            }
+        }
+        let unpruned_len: usize = state.to_snapshot_events().iter().map(|e| e.encode().len()).sum();
+        state.prune_delivered(4);
+        assert_eq!(state.pruned_round, 4);
+        assert_eq!(state.dag.pruned_floor(), 4);
+        assert_eq!(state.dag.len(), 4 + 16, "genesis + rounds 5..=8 retained");
+        let pruned_len: usize = state.to_snapshot_events().iter().map(|e| e.encode().len()).sum();
+        assert!(pruned_len < unpruned_len, "{pruned_len} !< {unpruned_len}");
+
+        let mut compacted = Log::new(MemStorage::new());
+        compacted.install_snapshot(&state.to_snapshot_events()).unwrap();
+        // New activity above the prune horizon still lands in the log tail.
+        compacted
+            .append(&DagEvent::VertexInserted(Vertex::new(
+                pid(1),
+                9,
+                vec![9],
+                ProcessSet::full(4),
+                vec![],
+            )))
+            .unwrap();
+        let re = compacted.replay(4, pid(1), Vec::new()).unwrap();
+        assert_eq!(re.pruned_round, 4);
+        assert_eq!(re.dag.pruned_floor(), 4);
+        assert_eq!(re.dag.len(), state.dag.len() + 1);
+        assert_eq!(re.own_round, 9, "own rounds above the floor survive");
+        assert_eq!(re.delivered, state.delivered, "delivered set is never pruned");
+        assert_eq!(re.commit_log, state.commit_log);
+        assert_eq!(re.confirmed_waves, state.confirmed_waves);
+        // The round-9 vertex inserted although its round-8 parents are in
+        // the snapshot and its pruned ancestry is gone — floor semantics.
+        assert!(re.dag.get(VertexId::new(9, pid(1))).is_some());
+    }
+
+    #[test]
+    fn pruning_retains_undelivered_old_vertices() {
+        let log = populated_log(4);
+        let mut state = log.replay(4, pid(0), Vec::new()).unwrap();
+        // Only p2's vertices were delivered; the rest must survive a prune.
+        for r in 1..=4u64 {
+            state.delivered.insert(VertexId::new(r, pid(2)));
+        }
+        state.prune_delivered(4);
+        assert_eq!(state.dag.len(), 4 + 12, "genesis + 3 undelivered per round");
+        for r in 1..=4u64 {
+            assert!(!state.dag.contains(VertexId::new(r, pid(2))), "delivered r{r} pruned");
+            assert!(state.dag.contains(VertexId::new(r, pid(0))), "undelivered r{r} kept");
+        }
+        // Re-compaction round-trips the partial prune.
+        let mut compacted = Log::new(MemStorage::new());
+        compacted.install_snapshot(&state.to_snapshot_events()).unwrap();
+        let re = compacted.replay(4, pid(0), Vec::new()).unwrap();
+        assert_eq!(re.dag.len(), state.dag.len());
+        assert_eq!(re.pruned_round, 4);
     }
 
     #[test]

@@ -183,6 +183,11 @@ pub struct Wal<S> {
     stats: WalStats,
     records_since_snapshot: usize,
     snapshot_every: usize,
+    /// Size in bytes of every snapshot blob installed through this handle,
+    /// in order — the observable behind "pruning bounds snapshot size"
+    /// (without pruning this sequence grows monotonically; with pruning it
+    /// is a sawtooth).
+    snapshot_sizes: Vec<u64>,
 }
 
 /// Default snapshot cadence: one snapshot per this many appended records.
@@ -196,14 +201,26 @@ impl<S: Storage> Wal<S> {
             stats: WalStats::default(),
             records_since_snapshot: 0,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            snapshot_sizes: Vec::new(),
         }
     }
 
-    /// Overrides the snapshot cadence (`0` disables snapshot suggestions).
+    /// Overrides the snapshot cadence: [`Wal::should_snapshot`] suggests a
+    /// compaction once `every` records accumulated since the last snapshot.
+    ///
+    /// **`every == 0` means "never"**: `should_snapshot` stays `false`
+    /// forever and the log grows without bound (replay work is then linear
+    /// in the whole history). Callers may still [`Wal::install_snapshot`]
+    /// manually.
     #[must_use]
     pub fn with_snapshot_every(mut self, every: usize) -> Self {
         self.snapshot_every = every;
         self
+    }
+
+    /// The configured snapshot cadence (`0` = never).
+    pub fn snapshot_every(&self) -> usize {
+        self.snapshot_every
     }
 
     /// The backend (test/bench observability).
@@ -232,12 +249,17 @@ impl<S: Storage> Wal<S> {
         self.backend.append_log(&framed)?;
         self.stats.records_appended += 1;
         self.stats.bytes_appended += framed.len() as u64;
-        self.records_since_snapshot += 1;
+        // Saturating: with the cadence disabled (`0` = never snapshot) this
+        // counter is never reset, and a pathological `usize::MAX` wrap
+        // would otherwise turn "overdue for a snapshot" into "just took
+        // one" (or panic in debug builds).
+        self.records_since_snapshot = self.records_since_snapshot.saturating_add(1);
         Ok(())
     }
 
     /// `true` once enough records accumulated since the last snapshot that
-    /// the owner should compact state into [`Wal::install_snapshot`].
+    /// the owner should compact state into [`Wal::install_snapshot`]. A
+    /// cadence of `0` means never: this always returns `false` then.
     pub fn should_snapshot(&self) -> bool {
         self.snapshot_every > 0 && self.records_since_snapshot >= self.snapshot_every
     }
@@ -259,8 +281,36 @@ impl<S: Storage> Wal<S> {
         self.backend.replace_log(&[])?;
         self.stats.snapshots_written += 1;
         self.stats.last_snapshot_bytes = blob.len() as u64;
+        self.snapshot_sizes.push(blob.len() as u64);
         self.records_since_snapshot = 0;
         Ok(())
+    }
+
+    /// Size of every snapshot installed through this handle, in order.
+    pub fn snapshot_sizes(&self) -> &[u64] {
+        &self.snapshot_sizes
+    }
+
+    /// Truncates a torn final record off the log area, returning how many
+    /// bytes were dropped — the repair a recovering process **must** apply
+    /// before it resumes appending. Reading tolerates a torn tail, but a
+    /// fresh record appended *after* torn bytes fuses with them into one
+    /// complete-looking frame whose checksum cannot match, turning a
+    /// survivable crash into unreadable corruption on the next restart
+    /// (found by the powerloss-file matrix cells).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] if a complete record fails its checksum
+    /// (the log is damaged beyond a torn tail — fail-stop, do not append);
+    /// [`StorageError::Io`] if the backend cannot be read or rewritten.
+    pub fn repair_torn_tail(&mut self) -> Result<usize, StorageError> {
+        let bytes = self.backend.read_log()?;
+        let torn = decode_area(&bytes, true)?.torn_tail_bytes;
+        if torn > 0 {
+            self.backend.replace_log(&bytes[..bytes.len() - torn])?;
+        }
+        Ok(torn)
     }
 
     /// Reads and verifies everything persisted: the snapshot records, the
@@ -360,6 +410,61 @@ mod tests {
         assert_eq!(replayed, vec![&b"compact-state"[..], &b"e3"[..]]);
         assert_eq!(wal.stats().snapshots_written, 1);
         assert!(wal.stats().last_snapshot_bytes > 0);
+    }
+
+    #[test]
+    fn appending_after_a_torn_tail_requires_repair() {
+        // The bug the powerloss-file matrix cells found: a torn tail is
+        // survivable to *read*, but appending after it fuses torn bytes
+        // with the new record into one complete-looking frame whose
+        // checksum mismatches — unreadable corruption at the next restart.
+        let mut wal = Wal::new(MemStorage::new());
+        wal.append(b"durable").unwrap();
+        wal.append(b"torn-me-please").unwrap();
+        let full = wal.backend().log_bytes().len();
+        wal.backend_mut().truncate_log(full - 5);
+
+        // Without repair: the post-recovery append corrupts the log.
+        let mut unrepaired = wal.clone();
+        unrepaired.append(b"post-recovery").unwrap();
+        assert!(
+            matches!(unrepaired.read(), Err(StorageError::Corrupt { .. })),
+            "the fused frame must fail its checksum"
+        );
+
+        // With repair: the torn bytes are dropped first and appends resume
+        // on a clean boundary.
+        let dropped = wal.repair_torn_tail().unwrap();
+        assert_eq!(dropped, RECORD_HEADER_BYTES + 14 - 5);
+        assert_eq!(wal.repair_torn_tail().unwrap(), 0, "repair is idempotent");
+        wal.append(b"post-recovery").unwrap();
+        let contents = wal.read().unwrap();
+        assert_eq!(contents.log, vec![b"durable".to_vec(), b"post-recovery".to_vec()]);
+        assert_eq!(contents.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_cadence_zero_means_never() {
+        let mut wal = Wal::new(MemStorage::new()).with_snapshot_every(0);
+        assert_eq!(wal.snapshot_every(), 0);
+        for _ in 0..(4 * DEFAULT_SNAPSHOT_EVERY) {
+            wal.append(b"e").unwrap();
+            assert!(!wal.should_snapshot(), "cadence 0 must never suggest a snapshot");
+        }
+        // Manual compaction still works and resets nothing it shouldn't.
+        wal.install_snapshot(&[b"state"]).unwrap();
+        assert!(!wal.should_snapshot());
+        assert_eq!(wal.stats().snapshots_written, 1);
+    }
+
+    #[test]
+    fn records_since_snapshot_saturates_instead_of_wrapping() {
+        let mut wal = Wal::new(MemStorage::new()).with_snapshot_every(8);
+        wal.records_since_snapshot = usize::MAX;
+        wal.append(b"overflow-me").unwrap();
+        assert!(wal.should_snapshot(), "an overdue log must stay overdue at usize::MAX");
+        wal.install_snapshot(&[b"s"]).unwrap();
+        assert!(!wal.should_snapshot(), "the snapshot resets the counter");
     }
 
     #[test]

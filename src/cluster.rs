@@ -176,6 +176,7 @@ impl Cluster {
             max_waves: self.waves,
             allow_empty_blocks: true,
             kernel_amplification: self.kernel_amplification,
+            ..RiderConfig::default()
         }
     }
 
