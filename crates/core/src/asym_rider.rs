@@ -21,7 +21,7 @@
 //!   quorum `Q ∈ Q_j` (for *any* process `j`, Algorithm 6 line 148) have
 //!   strong paths to it.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use asym_broadcast::BcastMsg;
 use asym_crypto::CommonCoin;
@@ -34,6 +34,7 @@ use asym_storage::{DagEvent, RecoveredState, StorageError};
 
 use crate::dagcore::{DagCore, DagLog};
 use crate::ordering::{CommitOutcome, WaveCommitter};
+use crate::transfer::{TransferState, TransferStats, WaveSegment};
 use crate::types::{Block, OrderedVertex, RiderConfig, RiderMetrics};
 
 /// Wire messages of asymmetric DAG-Rider: the arb layer carrying vertices,
@@ -77,6 +78,32 @@ pub enum AsymRiderMsg {
         /// Waves for which the responder has broadcast CONFIRM.
         confirmed: Vec<WaveId>,
     },
+    /// Sent alongside a [`AsymRiderMsg::FetchReply`] when the requested
+    /// floor lies below the responder's pruning floor: the responder can no
+    /// longer serve those rounds as DAG vertices, but offers the delivered
+    /// prefix as certified outputs instead (delivered-state transfer — see
+    /// [`crate::transfer`]).
+    StateOffer {
+        /// The responder can ship certified state through this wave.
+        decided_wave: WaveId,
+        /// The responder's pruning floor (rounds at or below may be gone).
+        floor: Round,
+    },
+    /// A deep laggard accepting a [`AsymRiderMsg::StateOffer`]: asks for
+    /// every decided wave above its own watermark.
+    StateRequest {
+        /// The requester's last decided wave.
+        above_wave: WaveId,
+    },
+    /// Point-to-point reply to [`AsymRiderMsg::StateRequest`]: per-wave
+    /// certified segments of the responder's delivered prefix. The
+    /// requester installs a segment only after bit-identical copies arrive
+    /// from one of **its own** kernels (≥ 1 honest corroborator under its
+    /// trust assumption), so a lone equivocator cannot forge state.
+    StateChunk {
+        /// Decided waves above the requested watermark, in wave order.
+        segments: Vec<WaveSegment>,
+    },
 }
 
 #[derive(Clone, Debug, Default)]
@@ -115,6 +142,13 @@ pub struct AsymDagRider {
     /// `true` if the most recent fetch replies added vouching votes — the
     /// signal that one more refetch round may complete a kernel.
     fetch_progress: bool,
+    /// Receiver-side delivered-state-transfer bookkeeping: per-wave segment
+    /// votes awaiting kernel corroboration, plus activity counters.
+    transfer: TransferState,
+    /// Block payloads of delivered vertices absent from the DAG (pruned
+    /// after delivery, or installed via state transfer) — what this process
+    /// serves to deep laggards in place of the garbage-collected vertices.
+    delivered_blocks: HashMap<VertexId, Block>,
 }
 
 impl AsymDagRider {
@@ -137,6 +171,8 @@ impl AsymDagRider {
             fetch_pending: HashMap::new(),
             last_missing: BTreeSet::new(),
             fetch_progress: false,
+            transfer: TransferState::new(),
+            delivered_blocks: HashMap::new(),
         }
     }
 
@@ -197,6 +233,23 @@ impl AsymDagRider {
     /// Commit log of `(wave, leader)` pairs, in commit order.
     pub fn commit_log(&self) -> &[(WaveId, VertexId)] {
         self.committer.log()
+    }
+
+    /// Delivered-state-transfer activity counters (observer inspection —
+    /// the scenario harness uses them to prove a deep laggard really
+    /// recovered through state transfer rather than plain fetch).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.transfer.stats()
+    }
+
+    /// The transferable block residue: delivered vertices whose full
+    /// vertex this process no longer (or never) holds, `(id, block)` sorted
+    /// by id.
+    pub fn delivered_block_residue(&self) -> Vec<(VertexId, Block)> {
+        let mut v: Vec<(VertexId, Block)> =
+            self.delivered_blocks.iter().map(|(id, b)| (*id, b.clone())).collect();
+        v.sort_unstable_by_key(|(id, _)| *id);
+        v
     }
 
     /// The asymmetric commit rule (Algorithm 6, line 148): all round-4
@@ -262,7 +315,11 @@ impl AsymDagRider {
             if cur >= self.core.config().max_round() {
                 break;
             }
-            let sources = self.core.dag().sources_in_round(cur);
+            // Pruned round members count as available: they were delivered
+            // (hence fully disseminated) before being garbage-collected, so
+            // a process resuming above a delivered-state install floor can
+            // still assemble its round quorum out of the gc'd prefix.
+            let sources = self.core.dag().sources_in_round_or_pruned(cur);
             if !self.quorums.contains_quorum_for(self.core.me(), &sources) {
                 break;
             }
@@ -324,7 +381,8 @@ impl AsymDagRider {
             self.core.dag(),
             self.control.iter().filter(|(_, c)| c.t_ready).map(|(w, _)| *w),
             self.committer.log(),
-            self.committer.delivered(),
+            self.committer.delivered_waves(),
+            self.delivered_blocks.iter().map(|(id, b)| (*id, b.clone())),
         )
     }
 
@@ -346,10 +404,15 @@ impl AsymDagRider {
             if decided >= 1 {
                 // Everything delivered lives at or below the decided
                 // wave's leader round (a wave-w commit orders history of
-                // the round-`4(w-1)+1` leader).
+                // the round-`4(w-1)+1` leader). The pruned vertices' blocks
+                // move into the transferable residue, so the delivered
+                // prefix stays servable to deep laggards as certified
+                // outputs.
                 let floor = round_of_wave(decided, 1);
                 let delivered: BTreeSet<VertexId> = self.committer.delivered().collect();
-                self.core.prune_delivered(&delivered, floor);
+                for v in self.core.prune_delivered(&delivered, floor) {
+                    self.delivered_blocks.insert(v.id(), v.into_block());
+                }
             }
         }
         let events = self.snapshot_events();
@@ -393,7 +456,10 @@ impl AsymDagRider {
         self.core = DagCore::from_recovered(me, self.quorums.clone(), config, &recovered, log);
         self.committer = WaveCommitter::from_parts(
             recovered.decided_wave,
-            recovered.delivered.iter().copied(),
+            recovered
+                .delivered
+                .iter()
+                .map(|id| (*id, recovered.delivered_waves.get(id).copied().unwrap_or(0))),
             recovered.commit_log.clone(),
         );
         self.control = HashMap::new();
@@ -401,6 +467,9 @@ impl AsymDagRider {
         self.fetch_pending = HashMap::new();
         self.last_missing = BTreeSet::new();
         self.fetch_progress = false;
+        self.transfer = TransferState::new();
+        self.delivered_blocks =
+            recovered.delivered_blocks.iter().map(|(k, v)| (*k, v.clone())).collect();
         self.recovering = true;
         for w in &recovered.confirmed_waves {
             let ctrl = self.control.entry(*w).or_default();
@@ -502,6 +571,184 @@ impl AsymDagRider {
         }
     }
 
+    /// Builds the per-wave certified segments of this process's delivered
+    /// prefix above `above_wave` — the donor half of delivered-state
+    /// transfer. Each wave's deliveries are reconstructed in the
+    /// deterministic delivery order (sorted ids of the wave's tag group —
+    /// see [`WaveCommitter::delivered_in_wave`]); blocks come from the DAG
+    /// when the vertex is still stored, and from the transferable residue
+    /// when it was garbage-collected. A wave with an unservable block
+    /// (impossible for a correct process, defensive) **ends** the chunk:
+    /// the receiver installs along the `prev_wave` chain, so segments past
+    /// a hole could never install from this donor anyway.
+    fn state_chunk(&self, above_wave: WaveId) -> Option<AsymRiderMsg> {
+        // One pass over the delivered map groups ids by ordering wave —
+        // StateRequests are repeatable and unauthenticated, so the donor
+        // must not rescan the whole delivered set once per log entry.
+        let mut by_wave: BTreeMap<WaveId, Vec<VertexId>> = BTreeMap::new();
+        for (id, wave) in self.committer.delivered_waves() {
+            if wave > above_wave {
+                by_wave.entry(wave).or_default().push(id);
+            }
+        }
+        let mut segments = Vec::new();
+        // Commit logs legitimately skip waves, so each segment names the
+        // log entry it chains onto (`prev_wave`) — the receiver installs
+        // along this chain, never by wave arithmetic.
+        let mut prev = 0;
+        for (wave, leader) in self.committer.log() {
+            if *wave <= above_wave {
+                prev = *wave;
+                continue;
+            }
+            let mut ids = by_wave.remove(wave).unwrap_or_default();
+            ids.sort_unstable();
+            let mut deliveries = Vec::with_capacity(ids.len());
+            let mut servable = true;
+            for id in ids {
+                let block = self
+                    .core
+                    .dag()
+                    .get(id)
+                    .map(|v| v.block().clone())
+                    .or_else(|| self.delivered_blocks.get(&id).cloned());
+                let Some(block) = block else {
+                    servable = false;
+                    break;
+                };
+                deliveries.push((id, block));
+            }
+            if !servable || deliveries.is_empty() {
+                // The receiver installs along the prev_wave chain, so
+                // nothing after a hole could ever install from this donor —
+                // stop the chunk here rather than ship dead segments.
+                break;
+            }
+            segments.push(WaveSegment {
+                wave: *wave,
+                prev_wave: prev,
+                leader: *leader,
+                deliveries,
+            });
+            prev = *wave;
+        }
+        (!segments.is_empty()).then_some(AsymRiderMsg::StateChunk { segments })
+    }
+
+    /// Shape-and-coin validation of one received segment, before it may
+    /// accumulate votes: the wave must still be installable, the leader
+    /// must be the coin-elected leader vertex of that wave (a forged
+    /// commit-log entry dies here without costing a vote slot), and the
+    /// delivery list must be non-empty, strictly `(round, source)`-sorted,
+    /// genesis-free and bounded by the leader round — the shape every
+    /// honest segment has by construction.
+    fn segment_valid(&self, seg: &WaveSegment) -> bool {
+        if seg.wave <= self.committer.decided_wave() {
+            return false;
+        }
+        let expected = VertexId::new(round_of_wave(seg.wave, 1), self.coin.leader(seg.wave));
+        seg.leader == expected
+            && seg.prev_wave < seg.wave
+            && !seg.deliveries.is_empty()
+            && seg.deliveries.windows(2).all(|w| w[0].0 < w[1].0)
+            && seg.deliveries.iter().all(|(id, _)| id.round >= 1 && id.round <= seg.leader.round)
+    }
+
+    /// Folds one donor's chunk in (vote per wave per responder) and
+    /// installs every contiguously corroborated wave: starting at the
+    /// decided-wave watermark, a segment whose copy has votes from one of
+    /// my kernels is appended to the commit log, its fresh deliveries are
+    /// persisted and output, the missing vertices are recorded as pruned
+    /// (their content can never be needed again) and the round counter
+    /// fast-forwards past the installed floor. Afterwards the process
+    /// resumes normal `Fetch` catch-up just below the new floor.
+    fn handle_state_chunk(
+        &mut self,
+        from: ProcessId,
+        segments: Vec<WaveSegment>,
+        ctx: &mut Context<'_, AsymRiderMsg, OrderedVertex>,
+    ) {
+        // Unsolicited chunks are dropped before they can pin any state:
+        // only donors this process actually sent a StateRequest to may
+        // accumulate votes (a forger spraying chunks at everyone gets
+        // nothing stored).
+        if !self.recovering || !self.transfer.has_requested(from) {
+            return;
+        }
+        for seg in segments {
+            self.transfer.note_received();
+            if !self.segment_valid(&seg) {
+                self.transfer.note_rejected();
+                continue;
+            }
+            self.transfer.vote(from, seg);
+        }
+        let me = self.core.me();
+        let quorums = self.quorums.clone();
+        let mut installed_any = false;
+        loop {
+            let decided = self.committer.decided_wave();
+            let Some(seg) = self.transfer.take_ready(decided, &quorums, me) else {
+                break;
+            };
+            let fresh = self.committer.install_wave(seg.wave, seg.leader, &seg.deliveries);
+            let absent: Vec<bool> =
+                fresh.iter().map(|(id, _)| !self.core.dag().contains(*id)).collect();
+            // Persist the decision, every delivery and the block residue of
+            // never-received vertices *before* handing outputs to the
+            // environment — the same WAL-first discipline as a live commit.
+            if let Some(log) = self.core.log_mut() {
+                log.append(&DagEvent::WaveDecided { wave: seg.wave, leader: seg.leader })
+                    .expect("WAL append failed");
+                // The install also earns the wave's tReady milestone (set
+                // below) — persist it like every other t_ready transition,
+                // or a crash before the next snapshot would silently drop
+                // the confirmation a replay cannot re-derive locally.
+                log.append(&DagEvent::WaveConfirmed { wave: seg.wave }).expect("WAL append failed");
+                for ((id, block), miss) in fresh.iter().zip(&absent) {
+                    log.append(&DagEvent::BlockDelivered { id: *id, wave: seg.wave })
+                        .expect("WAL append failed");
+                    if *miss {
+                        log.append(&DagEvent::DeliveredBlock { id: *id, block: block.clone() })
+                            .expect("WAL append failed");
+                    }
+                }
+            }
+            for ((id, block), miss) in fresh.iter().zip(&absent) {
+                if *miss {
+                    self.core.note_pruned(*id);
+                    self.delivered_blocks.insert(*id, block.clone());
+                }
+            }
+            // Kernel corroboration of the decided wave doubles as its
+            // confirmation evidence (the CONFIRM-from-kernel amplification
+            // rule): mark the ladder finished so round advancement through
+            // the installed wave is not gated on long-gone CONFIRMs.
+            let ctrl = self.control.entry(seg.wave).or_default();
+            ctrl.t_ready = true;
+            ctrl.sent_ready = true;
+            ctrl.sent_confirm = true;
+            self.transfer.note_installed(fresh.len());
+            for (id, block) in fresh {
+                self.core.metrics_mut().vertices_ordered += 1;
+                self.core.metrics_mut().txs_ordered += block.txs.len() as u64;
+                ctx.output(OrderedVertex { id, block, committed_in_wave: seg.wave });
+            }
+            self.core.fast_forward_round(round_of_wave(seg.wave, 1));
+            installed_any = true;
+        }
+        if installed_any {
+            self.transfer.discard_through(self.committer.decided_wave());
+            // Resume vertex catch-up one round *below* the new floor: the
+            // floor round itself still holds undelivered vertices (only a
+            // wave's leader is delivered by its own commit; its round
+            // siblings are ordered by the next wave) which the round quorum
+            // may need.
+            let floor = self.core.dag().pruned_floor();
+            ctx.broadcast(AsymRiderMsg::Fetch { above_round: floor.saturating_sub(1) });
+        }
+    }
+
     /// If recovery left the insertion buffer blocked on parents nobody has
     /// sent us (a vertex can finish dissemination entirely inside our down
     /// window), ask again. A refetch fires when the missing-parent set
@@ -587,9 +834,43 @@ impl Protocol for AsymDagRider {
             AsymRiderMsg::Fetch { above_round } => {
                 let reply = self.fetch_reply(above_round);
                 ctx.send(from, reply);
+                // The requester asked for rounds this process has garbage-
+                // collected: the FetchReply above cannot contain them, so
+                // offer the delivered prefix as certified outputs instead.
+                let floor = self.core.dag().pruned_floor();
+                if above_round < floor && self.committer.decided_wave() > 0 {
+                    ctx.send(
+                        from,
+                        AsymRiderMsg::StateOffer {
+                            decided_wave: self.committer.decided_wave(),
+                            floor,
+                        },
+                    );
+                }
             }
             AsymRiderMsg::FetchReply { vertices, confirmed } => {
                 self.handle_fetch_reply(from, vertices, confirmed, ctx);
+            }
+            AsymRiderMsg::StateOffer { decided_wave, .. } => {
+                // Only a recovering process installs transferred state, and
+                // only offers extending its watermark are worth a request
+                // (one per offerer; the chunk carries everything above it).
+                if self.recovering
+                    && self.transfer.note_offer(from, decided_wave, self.committer.decided_wave())
+                {
+                    ctx.send(
+                        from,
+                        AsymRiderMsg::StateRequest { above_wave: self.committer.decided_wave() },
+                    );
+                }
+            }
+            AsymRiderMsg::StateRequest { above_wave } => {
+                if let Some(chunk) = self.state_chunk(above_wave) {
+                    ctx.send(from, chunk);
+                }
+            }
+            AsymRiderMsg::StateChunk { segments } => {
+                self.handle_state_chunk(from, segments, ctx);
             }
         }
         self.advance(ctx);

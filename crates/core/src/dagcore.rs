@@ -197,6 +197,14 @@ impl DagCore {
             let mut i = 0;
             while i < self.buffer.len() {
                 let v = &self.buffer[i];
+                // A buffered copy of a pruned identity is stale: it was
+                // delivered (possibly via a state install) and garbage-
+                // collected, so re-inserting it would silently diverge the
+                // DAG from its log's pruning record.
+                if self.dag.is_pruned(v.id()) {
+                    self.buffer.swap_remove(i);
+                    continue;
+                }
                 if v.round() <= self.round && self.dag.parents_present(v) {
                     let v = self.buffer.swap_remove(i);
                     let log = &mut self.log;
@@ -242,7 +250,12 @@ impl DagCore {
         // block here; both configurations fall back to an empty block to
         // keep the simulation live (documented deviation).
         let block = self.blocks.pop_front().unwrap_or_default();
-        let strong = self.dag.sources_in_round(round - 1);
+        // Pruned previous-round vertices are sound strong-edge targets:
+        // they were delivered (hence fully disseminated), so every peer
+        // holds them as present-or-pruned too. Without them a process
+        // resuming just above a delivered-state install floor could not
+        // assemble a quorum of strong edges out of the gc'd round.
+        let strong = self.dag.sources_in_round_or_pruned(round - 1);
         let weak = self.compute_weak_edges(round, &strong);
         let v = Vertex::new(self.me, round, block, strong, weak);
         self.metrics.vertices_created += 1;
@@ -318,9 +331,33 @@ impl DagCore {
     /// vertex in `delivered` with round `<= up_to_round` is removed and the
     /// pruning floor ratchets up (see [`asym_storage::prune_dag`]). Called
     /// by the rider at snapshot time so the live DAG, the snapshot and a
-    /// future replay all agree on what was forgotten.
-    pub fn prune_delivered(&mut self, delivered: &BTreeSet<VertexId>, up_to_round: Round) {
-        asym_storage::prune_dag(&mut self.dag, delivered, up_to_round);
+    /// future replay all agree on what was forgotten. Returns the pruned
+    /// vertices so the rider can harvest their blocks into its transferable
+    /// delivered-state store (deep laggards are served outputs, not
+    /// vertices).
+    #[must_use]
+    pub fn prune_delivered(
+        &mut self,
+        delivered: &BTreeSet<VertexId>,
+        up_to_round: Round,
+    ) -> Vec<Vertex<Block>> {
+        asym_storage::prune_dag(&mut self.dag, delivered, up_to_round)
+    }
+
+    /// Records `id` as delivered-and-garbage-collected without requiring
+    /// it to be present (see [`asym_dag::DagStore::note_pruned`]) — the
+    /// delivered-state install path marks vertices it will never receive,
+    /// so children referencing them still insert.
+    pub fn note_pruned(&mut self, id: VertexId) {
+        self.dag.note_pruned(id);
+    }
+
+    /// Jumps the round counter forward (never backward) — called after a
+    /// delivered-state install so the process resumes creating vertices
+    /// just above the installed floor instead of trying to re-run rounds
+    /// whose vertices the whole system has garbage-collected.
+    pub fn fast_forward_round(&mut self, round: Round) {
+        self.round = self.round.max(round);
     }
 
     /// `setWeakEdges` (Algorithm 4, lines 84–88): weak edges to every vertex

@@ -19,7 +19,13 @@
 //!   [`FaultMode::RestartAfter`](asym_sim::FaultMode::RestartAfter) window
 //!   the process replays the log, re-announces its confirmed waves, revives
 //!   its stalled broadcasts and fetches missed rounds from peers — without
-//!   ever delivering a block twice.
+//!   ever delivering a block twice;
+//! * deep catch-up: when every peer has pruned below a laggard's floor,
+//!   the [`transfer`] module ships the delivered prefix as certified
+//!   outputs (`StateOffer`/`StateRequest`/`StateChunk`), kernel-matched
+//!   against the receiver's own quorum system. The full persistence and
+//!   recovery lifecycle is documented in `docs/ARCHITECTURE.md` at the
+//!   repository root.
 //!
 //! Both protocols implement [`asym_sim::Protocol`]: inputs are blocks
 //! (`aa-broadcast`), outputs are [`OrderedVertex`] events (`aa-deliver`) in
@@ -48,10 +54,12 @@ mod asym_rider;
 mod dagcore;
 mod ordering;
 mod rider;
+pub mod transfer;
 mod types;
 
 pub use asym_rider::{AsymDagRider, AsymRiderMsg};
 pub use dagcore::{DagCore, DagLog};
 pub use ordering::{CommitOutcome, WaveCommitter};
 pub use rider::{DagRider, RiderMsg};
+pub use transfer::{TransferState, TransferStats, WaveSegment};
 pub use types::{Block, OrderedVertex, RiderConfig, RiderMetrics, Tx};

@@ -6,7 +6,7 @@
 //! the leader stack walk-back, the deterministic causal-history delivery —
 //! is identical and lives here.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use asym_crypto::CommonCoin;
 use asym_dag::{round_of_wave, DagStore, VertexId, WaveId};
@@ -33,7 +33,10 @@ pub enum CommitOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct WaveCommitter {
     decided_wave: WaveId,
-    delivered: HashSet<VertexId>,
+    /// Every delivered vertex, tagged with the wave whose commit ordered it
+    /// — the per-wave grouping delivered-state transfer ships to deep
+    /// laggards.
+    delivered: HashMap<VertexId, WaveId>,
     /// `(wave, leader)` pairs in commit order — the experiment harness reads
     /// wave gaps from this log.
     log: Vec<(WaveId, VertexId)>,
@@ -47,8 +50,9 @@ impl WaveCommitter {
 
     /// Reconstructs a committer from recovered durable state — the
     /// crash-recovery path. `delivered` is the set of already-delivered
-    /// vertices (the guarantee that nothing is delivered twice across a
-    /// restart); `log` is the commit log in commit order.
+    /// vertices, each tagged with its ordering wave (the guarantee that
+    /// nothing is delivered twice across a restart); `log` is the commit
+    /// log in commit order.
     ///
     /// # Panics
     ///
@@ -56,7 +60,7 @@ impl WaveCommitter {
     /// `decided_wave` — state no correct process can have persisted.
     pub fn from_parts(
         decided_wave: WaveId,
-        delivered: impl IntoIterator<Item = VertexId>,
+        delivered: impl IntoIterator<Item = (VertexId, WaveId)>,
         log: Vec<(WaveId, VertexId)>,
     ) -> Self {
         for w in log.windows(2) {
@@ -85,13 +89,62 @@ impl WaveCommitter {
 
     /// `true` if the identified vertex has been atomically delivered.
     pub fn is_delivered(&self, vid: VertexId) -> bool {
-        self.delivered.contains(&vid)
+        self.delivered.contains_key(&vid)
     }
 
     /// The delivered vertices, in no particular order (invariant checkers
     /// cross-reference this against the output stream and the DAG).
     pub fn delivered(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.delivered.iter().copied()
+        self.delivered.keys().copied()
+    }
+
+    /// The delivered vertices with the wave whose commit ordered each, in
+    /// no particular order — the durable form the WAL snapshot persists.
+    pub fn delivered_waves(&self) -> impl Iterator<Item = (VertexId, WaveId)> + '_ {
+        self.delivered.iter().map(|(id, w)| (*id, *w))
+    }
+
+    /// The vertices ordered by wave `w`'s commit, in the deterministic
+    /// `(round, source)` delivery order — one transferable wave segment.
+    /// Delivery within a commit walks `causal_history` (sorted) skipping
+    /// already-delivered vertices, so this reconstruction *is* the original
+    /// delivery order, bit for bit, at every honest process.
+    pub fn delivered_in_wave(&self, w: WaveId) -> Vec<VertexId> {
+        let mut ids: Vec<VertexId> =
+            self.delivered.iter().filter(|(_, dw)| **dw == w).map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Installs one transferred wave segment: appends `(wave, leader)` to
+    /// the commit log, ratchets the decided wave, and marks `deliveries`
+    /// delivered — returning only the entries that were *not* already
+    /// delivered (the caller outputs exactly those, so a state install can
+    /// never re-deliver). The caller has already certified the segment
+    /// against its own quorum system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wave` is not beyond the decided wave — installs must be
+    /// contiguous and forward-only.
+    pub fn install_wave(
+        &mut self,
+        wave: WaveId,
+        leader: VertexId,
+        deliveries: &[(VertexId, Block)],
+    ) -> Vec<(VertexId, Block)> {
+        assert!(wave > self.decided_wave, "install_wave({wave}) at decided {}", self.decided_wave);
+        self.decided_wave = wave;
+        self.log.push((wave, leader));
+        let mut fresh = Vec::new();
+        for (id, block) in deliveries {
+            if id.round == 0 || self.delivered.contains_key(id) {
+                continue;
+            }
+            self.delivered.insert(*id, wave);
+            fresh.push((*id, block.clone()));
+        }
+        fresh
     }
 
     /// Runs `waveReady(w)`: elects the leader by the common coin, applies
@@ -136,9 +189,10 @@ impl WaveCommitter {
         while let Some((wave, leader)) = stack.pop() {
             self.log.push((wave, leader));
             for vid in dag.causal_history(leader) {
-                if vid.round == 0 || !self.delivered.insert(vid) {
+                if vid.round == 0 || self.delivered.contains_key(&vid) {
                     continue;
                 }
+                self.delivered.insert(vid, wave);
                 let vertex = dag.get(vid).expect("causal history vertices are stored");
                 out.push(OrderedVertex {
                     id: vid,
@@ -169,6 +223,7 @@ mod tests {
     use super::*;
     use asym_dag::Vertex;
     use asym_quorum::{ProcessId, ProcessSet};
+    use std::collections::HashSet;
 
     fn pid(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -274,6 +329,55 @@ mod tests {
             assert!(seen.insert(o.id), "vertex {} delivered twice", o.id);
         }
         assert_eq!(wc.delivered_count(), out.len());
+    }
+
+    #[test]
+    fn delivered_waves_group_the_delivery_order() {
+        // Wave tags recorded by commits must reconstruct each wave's
+        // delivery sequence exactly (sorted (round, source) within the
+        // wave) — the bit-for-bit property state-transfer segments rely on.
+        let n = 4;
+        let dag = full_dag(n, 9);
+        let coin = CommonCoin::new(3, n);
+        let mut wc = WaveCommitter::new();
+        let mut out = Vec::new();
+        wc.wave_ready(&dag, &coin, 1, |_, _| true, &mut out);
+        wc.wave_ready(&dag, &coin, 2, |_, _| true, &mut out);
+        for w in [1, 2] {
+            let expected: Vec<VertexId> =
+                out.iter().filter(|o| o.committed_in_wave == w).map(|o| o.id).collect();
+            assert!(!expected.is_empty());
+            assert_eq!(wc.delivered_in_wave(w), expected, "wave {w} order must round-trip");
+        }
+        assert_eq!(wc.delivered_waves().count(), out.len());
+    }
+
+    #[test]
+    fn install_wave_extends_the_log_and_skips_known_deliveries() {
+        let mut wc = WaveCommitter::new();
+        let l1 = VertexId::new(1, pid(2));
+        let a = VertexId::new(1, pid(0));
+        let fresh = wc.install_wave(1, l1, &[(a, Block::new(vec![1])), (l1, Block::new(vec![2]))]);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(wc.decided_wave(), 1);
+        assert_eq!(wc.log(), &[(1, l1)]);
+        // A later install never re-delivers what is already known —
+        // including entries the previous install brought in.
+        let l3 = VertexId::new(9, pid(1));
+        let b = VertexId::new(2, pid(3));
+        let fresh = wc.install_wave(3, l3, &[(a, Block::new(vec![1])), (b, Block::new(vec![9]))]);
+        assert_eq!(fresh, vec![(b, Block::new(vec![9]))]);
+        assert_eq!(wc.decided_wave(), 3);
+        assert_eq!(wc.delivered_in_wave(3), vec![b]);
+        assert_eq!(wc.delivered_in_wave(1), vec![a, l1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "install_wave")]
+    fn install_wave_must_move_forward() {
+        let mut wc = WaveCommitter::new();
+        wc.install_wave(2, VertexId::new(5, pid(0)), &[]);
+        wc.install_wave(2, VertexId::new(5, pid(0)), &[]);
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct DagStore<B> {
     /// round-based floor would also excuse a slow old vertex this process
     /// simply never received, silently breaking delivery completeness.
     pruned: HashSet<VertexId>,
+    /// The same identities indexed per round — round advancement queries
+    /// pruned membership on every message, so the per-round form must be
+    /// O(round lookup), not a scan of the whole pruned set.
+    pruned_by_round: BTreeMap<Round, ProcessSet>,
     /// Highest round of any pruned vertex (`0` = nothing pruned) — the
     /// metadata the snapshot marker and the recovery fetch floor use.
     pruned_floor: Round,
@@ -77,7 +81,13 @@ pub struct DagStore<B> {
 impl<B> DagStore<B> {
     /// Creates an empty store (no genesis).
     pub fn new() -> Self {
-        DagStore { rounds: BTreeMap::new(), len: 0, pruned: HashSet::new(), pruned_floor: 0 }
+        DagStore {
+            rounds: BTreeMap::new(),
+            len: 0,
+            pruned: HashSet::new(),
+            pruned_by_round: BTreeMap::new(),
+            pruned_floor: 0,
+        }
     }
 
     /// Creates a store pre-populated with round-0 genesis vertices for all
@@ -136,6 +146,7 @@ impl<B> DagStore<B> {
     pub fn note_pruned(&mut self, id: VertexId) {
         self.pruned_floor = self.pruned_floor.max(id.round);
         self.pruned.insert(id);
+        self.pruned_by_round.entry(id.round).or_default().insert(id.source);
     }
 
     /// Ratchets the floor metadata without recording an id — used when
@@ -227,6 +238,25 @@ impl<B> DagStore<B> {
     /// The sources with a vertex in `round`.
     pub fn sources_in_round(&self, round: Round) -> ProcessSet {
         self.rounds.get(&round).map(|m| m.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// The sources whose round-`round` vertex was garbage-collected after
+    /// delivery — the floor-aware complement of
+    /// [`DagStore::sources_in_round`].
+    pub fn pruned_sources_in_round(&self, round: Round) -> ProcessSet {
+        self.pruned_by_round.get(&round).cloned().unwrap_or_default()
+    }
+
+    /// The sources of round-`round` vertices that are either stored **or**
+    /// pruned (delivered and garbage-collected). This is the availability
+    /// set round advancement must use after a delivered-state install: a
+    /// pruned vertex existed, completed dissemination and was delivered, so
+    /// it is a sound strong-edge target even though its content is gone —
+    /// every peer holds it as present-or-pruned too.
+    pub fn sources_in_round_or_pruned(&self, round: Round) -> ProcessSet {
+        let mut s = self.sources_in_round(round);
+        s.union_with(&self.pruned_sources_in_round(round));
+        s
     }
 
     /// Iterates over the vertices of `round` in source order.
@@ -506,6 +536,13 @@ mod tests {
         // Replay-side reconstruction: recording an absent id as pruned.
         sparse.note_pruned(vid(1, 1));
         assert!(sparse.is_pruned(vid(1, 1)));
+        // Floor-aware queries: pruned sources are reported separately and
+        // merged by the or-pruned form (what round advancement uses after
+        // a delivered-state install).
+        assert_eq!(dag.pruned_sources_in_round(1), ProcessSet::from_indices([0, 1, 2]));
+        assert_eq!(dag.sources_in_round(1), ProcessSet::new());
+        assert_eq!(dag.sources_in_round_or_pruned(1), ProcessSet::from_indices([0, 1, 2]));
+        assert_eq!(dag.sources_in_round_or_pruned(2), ProcessSet::from_indices([0, 1, 2]));
         // `causal_history` still *names* pruned parents (their ids are
         // reachable) but cannot expand them — callers skip them via the
         // delivered set, which is never pruned.

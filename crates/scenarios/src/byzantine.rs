@@ -8,8 +8,9 @@
 //! Byzantine scenario cell runs.
 
 use asym_broadcast::BcastMsg;
-use asym_core::{AsymDagRider, AsymRiderMsg, Block, OrderedVertex};
-use asym_dag::Vertex;
+use asym_core::{AsymDagRider, AsymRiderMsg, Block, OrderedVertex, WaveSegment};
+use asym_crypto::CommonCoin;
+use asym_dag::{round_of_wave, Vertex, VertexId};
 use asym_quorum::{ProcessId, ProcessSet};
 use asym_sim::{Context, Protocol};
 
@@ -47,6 +48,18 @@ pub enum ByzAttack {
     /// the only defense this attack probes. On recovery: broadcasts a
     /// `Fetch` of its own, soliciting reply traffic it can answer-poison.
     ForgeFetchReplies,
+    /// Lie through the **delivered-state transfer** path: answer every
+    /// `Fetch` with a forged [`StateOffer`](asym_core::AsymRiderMsg::StateOffer)
+    /// claiming a deep decided wave, and every
+    /// [`StateRequest`](asym_core::AsymRiderMsg::StateRequest) with a
+    /// forged [`StateChunk`](asym_core::AsymRiderMsg::StateChunk) whose
+    /// segments name the *correct* coin-elected leaders (so the cheap coin
+    /// filter passes) but carry fabricated [`FORGED_TX`] deliveries — a
+    /// forged or truncated delivered prefix. The laggard's kernel-matched
+    /// install is the only defense: a lone liar never corroborates a
+    /// segment, and the laggard must still converge via honest offers. On
+    /// recovery: pushes unsolicited forged offers at everyone.
+    ForgeStateOffers,
 }
 
 /// The forged transaction id `ForgeFetchReplies` plants in fabricated
@@ -67,6 +80,9 @@ impl ByzAttack {
             // no-fabrication checkers rather than excused as
             // attacker-authored.
             ByzAttack::ForgeFetchReplies => &[],
+            // Likewise: forged segments deliver under honest vertex ids, so
+            // an installed forgery is a checker violation, never excused.
+            ByzAttack::ForgeStateOffers => &[],
         }
     }
 }
@@ -78,6 +94,7 @@ impl core::fmt::Display for ByzAttack {
             ByzAttack::BogusStrongEdges => write!(f, "bogus-edges"),
             ByzAttack::ConfirmFlood => write!(f, "confirm-flood"),
             ByzAttack::ForgeFetchReplies => write!(f, "forge-fetch-replies"),
+            ByzAttack::ForgeStateOffers => write!(f, "forge-state-offers"),
         }
     }
 }
@@ -88,13 +105,19 @@ pub struct ByzProcess {
     me: ProcessId,
     n: usize,
     attack: ByzAttack,
+    /// The cluster's shared coin — an insider attacker knows the leader
+    /// schedule, so its forged state segments can name the correct
+    /// coin-elected leaders and survive the cheap coin filter (the
+    /// kernel-matched install must be the defense that holds).
+    coin: CommonCoin,
     sent: bool,
 }
 
 impl ByzProcess {
-    /// Creates an attacker with identity `me` in an `n`-process system.
-    pub fn new(me: ProcessId, n: usize, attack: ByzAttack) -> Self {
-        ByzProcess { me, n, attack, sent: false }
+    /// Creates an attacker with identity `me` in an `n`-process system
+    /// sharing the cluster's `coin_seed`.
+    pub fn new(me: ProcessId, n: usize, attack: ByzAttack, coin_seed: u64) -> Self {
+        ByzProcess { me, n, attack, coin: CommonCoin::new(coin_seed, n), sent: false }
     }
 
     /// The mounted attack.
@@ -139,6 +162,36 @@ impl ByzProcess {
             .collect();
         AsymRiderMsg::FetchReply { vertices, confirmed: (1..=30).collect() }
     }
+
+    /// The forged delivered prefix `ForgeStateOffers` claims: a `StateOffer`
+    /// advertising 12 decided waves.
+    fn forged_state_offer(&self) -> AsymRiderMsg {
+        AsymRiderMsg::StateOffer { decided_wave: 12, floor: round_of_wave(12, 1) }
+    }
+
+    /// The forged `StateChunk` backing that offer: segments for every
+    /// claimed wave above the requester's watermark, each naming the
+    /// *correct* coin-elected leader (the attacker shares the cluster coin)
+    /// but delivering a fabricated [`FORGED_TX`] block under the leader's
+    /// honest identity — installing any of these is a provable defense
+    /// failure.
+    fn forged_state_chunk(&self, above_wave: u64) -> AsymRiderMsg {
+        let segments: Vec<WaveSegment> = (above_wave + 1..=12)
+            .map(|wave| {
+                let leader = VertexId::new(round_of_wave(wave, 1), self.coin.leader(wave));
+                WaveSegment {
+                    wave,
+                    // Chain straight onto the requester's watermark so the
+                    // first forged segment is immediately installable if
+                    // kernel matching ever failed to hold.
+                    prev_wave: if wave == above_wave + 1 { above_wave } else { wave - 1 },
+                    leader,
+                    deliveries: vec![(leader, Block::new(vec![FORGED_TX]))],
+                }
+            })
+            .collect();
+        AsymRiderMsg::StateChunk { segments }
+    }
 }
 
 impl Protocol for ByzProcess {
@@ -169,8 +222,8 @@ impl Protocol for ByzProcess {
                     ctx.broadcast(AsymRiderMsg::Ready { wave });
                 }
             }
-            // Lies reactively: every Fetch it sees gets a poisoned reply.
-            ByzAttack::ForgeFetchReplies => {}
+            // Lie reactively: every Fetch it sees gets a poisoned reply.
+            ByzAttack::ForgeFetchReplies | ByzAttack::ForgeStateOffers => {}
         }
     }
 
@@ -181,12 +234,19 @@ impl Protocol for ByzProcess {
         ctx: &mut Context<'_, Self::Msg, Self::Output>,
     ) {
         // Attacks stay otherwise silent after their opening move (worst
-        // case: attack + crash) — except the fetch-forger, which answers
-        // exactly the message a *recovering* honest process depends on.
-        if let (ByzAttack::ForgeFetchReplies, AsymRiderMsg::Fetch { above_round }) =
-            (self.attack, &msg)
-        {
-            ctx.send(from, self.forged_fetch_reply(*above_round));
+        // case: attack + crash) — except the forgers, which answer exactly
+        // the messages a *recovering* honest process depends on.
+        match (self.attack, &msg) {
+            (ByzAttack::ForgeFetchReplies, AsymRiderMsg::Fetch { above_round }) => {
+                ctx.send(from, self.forged_fetch_reply(*above_round));
+            }
+            (ByzAttack::ForgeStateOffers, AsymRiderMsg::Fetch { .. }) => {
+                ctx.send(from, self.forged_state_offer());
+            }
+            (ByzAttack::ForgeStateOffers, AsymRiderMsg::StateRequest { above_wave }) => {
+                ctx.send(from, self.forged_state_chunk(*above_wave));
+            }
+            _ => {}
         }
     }
 
@@ -226,6 +286,16 @@ impl Protocol for ByzProcess {
                 for i in 0..self.n {
                     if i != self.me.index() {
                         ctx.send(ProcessId::new(i), reply.clone());
+                    }
+                }
+            }
+            ByzAttack::ForgeStateOffers => {
+                // Push unsolicited forged offers at everyone: any peer
+                // mid-recovery will request the forged prefix.
+                let offer = self.forged_state_offer();
+                for i in 0..self.n {
+                    if i != self.me.index() {
+                        ctx.send(ProcessId::new(i), offer.clone());
                     }
                 }
             }

@@ -22,7 +22,8 @@
 //! | [`restart_no_double_delivery`] | a crash-restarted process never delivers a vertex twice across its restart |
 //! | [`restart_prefix_consistency`] | a restarted process's delivered sequence stays a prefix-match with every fault-free process |
 //! | [`restart_liveness`] | when a guild survives, a restarted process recovers, rejoins and delivers |
-//! | [`wal_state_equivalence`] | replaying a process's final WAL reproduces its live DAG, delivered set and commit log exactly |
+//! | [`wal_state_equivalence`] | replaying a process's final WAL reproduces its live DAG, delivered set (with wave tags) and commit log exactly |
+//! | [`state_transfer_consistency`] | a delivered-state install reproduces some honest delivered prefix bit-for-bit, never re-delivers, and only ever happens on a recovering process |
 
 use std::collections::HashSet;
 
@@ -54,6 +55,7 @@ pub fn standard_checks() -> Vec<(&'static str, CheckFn)> {
         ("restart_prefix_consistency", restart_prefix_consistency),
         ("restart_liveness", restart_liveness),
         ("wal_state_equivalence", wal_state_equivalence),
+        ("state_transfer_consistency", state_transfer_consistency),
     ]
 }
 
@@ -625,6 +627,61 @@ pub fn wal_state_equivalence(o: &ScenarioOutcome) -> Result<(), String> {
                 replayed.delivered.len(),
                 live.len()
             ));
+        }
+        // The wave tags behind delivered-state transfer must survive the
+        // snapshot/replay round-trip too — a donor serving segments out of
+        // a replayed log must group deliveries exactly like the live one.
+        let live_waves: std::collections::BTreeMap<VertexId, u64> =
+            committer.delivered_waves().collect();
+        if replayed.delivered_waves != live_waves {
+            return Err(format!("{p}: WAL delivered-wave tags differ from the live ones"));
+        }
+    }
+    Ok(())
+}
+
+/// Delivered-state transfer consistency: for every honest process that
+/// installed transferred state, (a) the install happened on a recovering
+/// process (the only path that requests state), (b) its full output
+/// sequence is **bit-for-bit** (id, block *and* ordering wave) a
+/// prefix-match with every fault-free process — the transferred prefix
+/// equals some honest delivered prefix exactly, and (c) no vertex id
+/// appears twice in its output stream (a state install never re-delivers;
+/// the exact outputs-vs-committer bookkeeping reconciliation is
+/// [`delivery_bookkeeping`]'s job and applies to these processes too).
+/// Vacuous in cells where nothing was transferred.
+pub fn state_transfer_consistency(o: &ScenarioOutcome) -> Result<(), String> {
+    for p in &o.honest {
+        let Some(stats) = o.transfers[p.index()] else { continue };
+        if stats.deliveries_installed == 0 && stats.waves_installed == 0 {
+            continue;
+        }
+        if !o.recovered[p.index()] {
+            return Err(format!(
+                "{p} installed transferred state without ever having recovered from its log"
+            ));
+        }
+        let mine = &o.outputs[p.index()];
+        for c in &o.correct {
+            if c == p {
+                continue;
+            }
+            let other = &o.outputs[c.index()];
+            let common = mine.len().min(other.len());
+            for k in 0..common {
+                if mine[k] != other[k] {
+                    return Err(format!(
+                        "{p}'s transferred prefix diverges from {c} at position {k}: \
+                         {:?} vs {:?} (a state install must reproduce an honest delivered \
+                         prefix bit-for-bit)",
+                        mine[k], other[k]
+                    ));
+                }
+            }
+        }
+        let distinct: HashSet<VertexId> = mine.iter().map(|v| v.id).collect();
+        if distinct.len() != mine.len() {
+            return Err(format!("{p} re-delivered across a state install"));
         }
     }
     Ok(())

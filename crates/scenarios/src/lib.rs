@@ -33,6 +33,15 @@
 //! the catch-up fetch path — with [`checks::cross_dag_consistency`] and
 //! [`checks::dag_no_fabrication`] proving none of it sticks.
 //!
+//! The **all-pruned** axis ([`Scenario::wal_everywhere`]) equips every
+//! honest process with a pruning WAL, so a deep laggard can only rejoin
+//! through delivered-state transfer (`asym_core::transfer`) — with
+//! [`ByzAttack::ForgeStateOffers`] probing the kernel-matched install and
+//! [`checks::state_transfer_consistency`] proving installed prefixes equal
+//! an honest delivered prefix bit-for-bit. The persistence & recovery
+//! lifecycle behind these axes is documented in `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! Every failure prints the exact `(topology, fault plan, scheduler, seed)`
 //! tuple; [`replay`] re-executes it bit-for-bit.
 //!

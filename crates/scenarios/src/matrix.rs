@@ -168,7 +168,18 @@ pub struct Matrix {
     pub snapshot_cadences: Vec<usize>,
     /// WAL storage backends for restart plans (first = default).
     pub restart_storages: Vec<StorageSpec>,
+    /// Fault plans additionally run as **all-pruned** cells: every honest
+    /// process gets a pruning write-ahead log
+    /// ([`Scenario::wal_everywhere`]) at an aggressive snapshot cadence, so
+    /// no peer retains the full DAG and a deep laggard can only recover
+    /// through delivered-state transfer. Each plan here should contain a
+    /// deep restart (early `crash_at`, far `recover_at`).
+    pub all_pruned_plans: Vec<FaultPlan>,
 }
+
+/// Snapshot cadence of all-pruned cells: aggressive enough that every peer
+/// prunes below a deep laggard's floor within the default wave budget.
+const ALL_PRUNED_CADENCE: usize = 8;
 
 impl Matrix {
     /// The curated tier-1 sub-matrix: every topology family, the core
@@ -222,6 +233,19 @@ impl Matrix {
             txs_per_block: 2,
             snapshot_cadences: vec![64, 0],
             restart_storages: vec![StorageSpec::Mem, StorageSpec::PowerlossMem { seed: 7 }],
+            all_pruned_plans: vec![
+                // A deep laggard: crashes almost immediately, recovers only
+                // at quiescence — by then every peer has pruned below its
+                // floor, so only delivered-state transfer can serve it.
+                FaultPlan::none().with(1, Fault::Restart { crash_at: 60, recover_at: 40_000_000 }),
+                // The same cell with a liar: forged offers + forged chunks
+                // (correct coin leaders, fabricated deliveries) race the
+                // honest transfer; the kernel-matched install must reject
+                // them without costing the laggard its liveness.
+                FaultPlan::none()
+                    .with(1, Fault::Restart { crash_at: 60, recover_at: 40_000_000 })
+                    .with(3, Fault::Byzantine(ByzAttack::ForgeStateOffers)),
+            ],
         }
     }
 
@@ -258,6 +282,16 @@ impl Matrix {
                 // Crash-restart: process 1 loses its in-memory state mid-run
                 // and rejoins from its write-ahead log.
                 FaultPlan::none().with(1, Fault::Restart { crash_at: 150, recover_at: 1200 }),
+                // Restart under churn: two processes with overlapping down
+                // windows — both replay, refetch and rejoin while the other
+                // is (or was just) down.
+                FaultPlan::none()
+                    .with(1, Fault::Restart { crash_at: 100, recover_at: 1100 })
+                    .with(2, Fault::Restart { crash_at: 300, recover_at: 900 }),
+                // A restart racing the partition heal: recover_at 610 lands
+                // right on the Partition scheduler's heal_at 600, so the
+                // replayed process rejoins into a still-settling network.
+                FaultPlan::none().with(1, Fault::Restart { crash_at: 100, recover_at: 610 }),
                 // Restart racing a permanent crash (guild-destroying on the
                 // small topologies — those cells are safety-only).
                 FaultPlan::crash_from_start([3])
@@ -321,6 +355,26 @@ impl Matrix {
                 StorageSpec::File,
                 StorageSpec::PowerlossFile { seed: 13 },
             ],
+            all_pruned_plans: vec![
+                // The deep laggard (see Matrix::smoke).
+                FaultPlan::none().with(1, Fault::Restart { crash_at: 60, recover_at: 40_000_000 }),
+                // Deep laggard vs forged-state liar.
+                FaultPlan::none()
+                    .with(1, Fault::Restart { crash_at: 60, recover_at: 40_000_000 })
+                    .with(3, Fault::Byzantine(ByzAttack::ForgeStateOffers)),
+                // Deep laggard vs a liar that also crashes and revives to
+                // push unsolicited forged offers mid-recovery.
+                FaultPlan::none()
+                    .with(1, Fault::Restart { crash_at: 60, recover_at: 40_000_000 })
+                    .with(
+                        3,
+                        Fault::ByzantineRestart {
+                            attack: ByzAttack::ForgeStateOffers,
+                            crash_at: 100,
+                            recover_at: 1000,
+                        },
+                    ),
+            ],
         }
     }
 
@@ -371,6 +425,27 @@ impl Matrix {
                                     .storage(*storage),
                             );
                         }
+                    }
+                }
+            }
+            // The all-pruned cells: every honest process gets a pruning
+            // WAL at an aggressive cadence (one cell per plan — the
+            // cadence/storage cross is spent on the regular restart plans).
+            for plan in &self.all_pruned_plans {
+                if plan.max_index().is_some_and(|m| m >= topology.n()) {
+                    skipped += self.schedulers.len() * self.seeds.len();
+                    continue;
+                }
+                for scheduler in &self.schedulers {
+                    for seed in &self.seeds {
+                        cells.push(
+                            Scenario::new(*topology, plan.clone(), scheduler.clone(), *seed)
+                                .waves(self.waves)
+                                .blocks_per_process(self.blocks_per_process)
+                                .txs_per_block(self.txs_per_block)
+                                .snapshot_every(ALL_PRUNED_CADENCE)
+                                .wal_everywhere(true),
+                        );
                     }
                 }
             }
@@ -471,6 +546,22 @@ mod tests {
             cells.iter().any(|s| s.scheduler.needs_flush()),
             "no hard-starvation scheduler cell"
         );
+        // The all-pruned delivered-state-transfer axis (this PR's tentpole):
+        // a deep laggard with every peer pruning, with and without a
+        // forged-state liar.
+        assert!(
+            cells.iter().any(|s| {
+                s.wal_everywhere && s.prune_wal && s.faults.restarts().next().is_some()
+            }),
+            "no all-pruned deep-catch-up cell"
+        );
+        assert!(
+            cells.iter().any(|s| {
+                s.wal_everywhere
+                    && s.faults.byzantine().any(|(_, a)| a == ByzAttack::ForgeStateOffers)
+            }),
+            "no forged-state-offer cell in an all-pruned sweep"
+        );
     }
 
     #[test]
@@ -524,6 +615,33 @@ mod tests {
             }),
             "no cell with honest and Byzantine recovery racing each other"
         );
+        // Restart under churn (once an open ROADMAP gap): overlapping down
+        // windows, and a restart whose recovery races the partition heal.
+        assert!(
+            cells.iter().any(|s| s.faults.restarts().count() >= 2),
+            "no overlapping-down-window churn cell"
+        );
+        assert!(
+            cells.iter().any(|s| {
+                s.scheduler.name() == "partition"
+                    && s.faults.assignments().iter().any(|(_, f)| {
+                        matches!(f, Fault::Restart { recover_at, .. } if *recover_at == 610)
+                    })
+            }),
+            "no restart-races-the-heal cell under the partition scheduler"
+        );
+        // All-pruned deep catch-up, including the lying-recoverer variant.
+        assert!(
+            cells.iter().any(|s| s.wal_everywhere && s.faults.restarts().next().is_some()),
+            "no all-pruned cell in the full sweep"
+        );
+        assert!(
+            cells.iter().any(|s| {
+                s.wal_everywhere
+                    && s.faults.byz_restarts().any(|(_, a)| a == ByzAttack::ForgeStateOffers)
+            }),
+            "no all-pruned cell with a forged-state liar that itself restarts"
+        );
     }
 
     #[test]
@@ -538,6 +656,7 @@ mod tests {
             txs_per_block: 1,
             snapshot_cadences: vec![64],
             restart_storages: vec![StorageSpec::Mem],
+            all_pruned_plans: vec![],
         };
         let (cells, skipped) = m.scenarios_and_skips();
         assert!(cells.is_empty());
@@ -556,6 +675,7 @@ mod tests {
             txs_per_block: 1,
             snapshot_cadences: vec![64],
             restart_storages: vec![StorageSpec::Mem],
+            all_pruned_plans: vec![],
         };
         let report = m.run();
         assert_eq!(report.cells.len(), 2);
@@ -579,6 +699,7 @@ mod tests {
             txs_per_block: 1,
             snapshot_cadences: vec![64, 0],
             restart_storages: vec![StorageSpec::Mem, StorageSpec::File],
+            all_pruned_plans: vec![],
         };
         let cells = m.scenarios();
         // 1 (fault-free, defaults only) + restart plan × (2 cadences + 1

@@ -1,7 +1,8 @@
 //! The scenario runner: descriptor in, fully-observed execution out.
 
 use asym_core::{
-    AsymDagRider, Block, DagLog, OrderedVertex, RiderConfig, RiderMetrics, WaveCommitter,
+    AsymDagRider, Block, DagLog, OrderedVertex, RiderConfig, RiderMetrics, TransferStats,
+    WaveCommitter,
 };
 use asym_dag::{DagStore, VertexId, WaveId};
 use asym_quorum::topology::{Topology, TopologySpec};
@@ -84,6 +85,12 @@ pub struct ScenarioOutcome {
     /// Whether each process actually executed its recovery path (rebuilt
     /// itself from its log).
     pub recovered: Vec<bool>,
+    /// Per-process delivered-state-transfer counters (`None` for Byzantine
+    /// processes): offers seen, requests sent, segments received/rejected,
+    /// waves and deliveries installed — how the `state_transfer_consistency`
+    /// checker and the tier-1 cells prove a deep laggard recovered through
+    /// the transfer path.
+    pub transfers: Vec<Option<TransferStats>>,
     /// Whether the engine fired a restart for each process — `false` for a
     /// [`Fault::Restart`] process whose crash window never opened (the run
     /// ended before `crash_at` deliveries), in which case the fault was
@@ -160,7 +167,9 @@ impl Scenario {
         let mut temp_dirs: Vec<std::path::PathBuf> = Vec::new();
         let procs: Vec<Party> = (0..n)
             .map(|i| match byz[i] {
-                Some(attack) => Party::Byzantine(ByzProcess::new(pid(i), n, attack)),
+                Some(attack) => {
+                    Party::Byzantine(ByzProcess::new(pid(i), n, attack, self.coin_seed()))
+                }
                 None => {
                     let mut rider = AsymDagRider::new(
                         pid(i),
@@ -168,7 +177,7 @@ impl Scenario {
                         self.coin_seed(),
                         config,
                     );
-                    if restartable[i] {
+                    if restartable[i] || self.wal_everywhere {
                         rider = rider.with_storage(
                             DagLog::new(self.wal_backend(i, &mut temp_dirs))
                                 .with_snapshot_every(self.snapshot_every),
@@ -226,6 +235,7 @@ impl Scenario {
         let mut wal_stats = Vec::with_capacity(n);
         let mut wal_snapshot_sizes = Vec::with_capacity(n);
         let mut recovered = Vec::with_capacity(n);
+        let mut transfers = Vec::with_capacity(n);
         for i in 0..n {
             match sim.process(pid(i)).as_honest() {
                 Some(r) => {
@@ -237,6 +247,7 @@ impl Scenario {
                     wal_stats.push(r.storage().map(|l| l.stats()));
                     wal_snapshot_sizes.push(r.storage().map(|l| l.snapshot_sizes().to_vec()));
                     recovered.push(r.has_recovered());
+                    transfers.push(Some(r.transfer_stats()));
                 }
                 None => {
                     commit_logs.push(Vec::new());
@@ -247,6 +258,7 @@ impl Scenario {
                     wal_stats.push(None);
                     wal_snapshot_sizes.push(None);
                     recovered.push(false);
+                    transfers.push(None);
                 }
             }
         }
@@ -272,6 +284,7 @@ impl Scenario {
             wal_stats,
             wal_snapshot_sizes,
             recovered,
+            transfers,
             restart_fired: (0..n).map(|i| sim.was_recovered(pid(i))).collect(),
             injected,
             honest,

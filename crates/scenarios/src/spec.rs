@@ -373,6 +373,12 @@ pub struct Scenario {
     pub storage: StorageSpec,
     /// Garbage-collect delivered prefixes at snapshot time (WAL pruning).
     pub prune_wal: bool,
+    /// Equip **every** honest process with a write-ahead log (not only the
+    /// restart-faulted ones) — the *all-pruned* axis: combined with
+    /// `prune_wal`, every peer garbage-collects its delivered prefix, so a
+    /// deep laggard can only recover through delivered-state transfer
+    /// (no peer retains the full DAG to serve a plain `FetchReply`).
+    pub wal_everywhere: bool,
 }
 
 impl Scenario {
@@ -397,6 +403,7 @@ impl Scenario {
             snapshot_every: 64,
             storage: StorageSpec::Mem,
             prune_wal: true,
+            wal_everywhere: false,
         }
     }
 
@@ -442,6 +449,13 @@ impl Scenario {
         self
     }
 
+    /// Equips every honest process with a write-ahead log — the all-pruned
+    /// axis (builder-style).
+    pub fn wal_everywhere(mut self, everywhere: bool) -> Self {
+        self.wal_everywhere = everywhere;
+        self
+    }
+
     /// The shared coin seed: derived from the scenario seed but decorrelated
     /// from the scheduler's RNG stream.
     pub fn coin_seed(&self) -> u64 {
@@ -456,10 +470,13 @@ impl Scenario {
             "(topology={}, faults={}, scheduler={}, seed={})",
             self.topology, self.faults, self.scheduler, self.seed
         );
-        if self.faults.restarts().next().is_some() {
+        if self.faults.restarts().next().is_some() || self.wal_everywhere {
             cell.push_str(&format!(
-                " wal=({}, every={}, prune={})",
-                self.storage, self.snapshot_every, self.prune_wal
+                " wal=({}, every={}, prune={}{})",
+                self.storage,
+                self.snapshot_every,
+                self.prune_wal,
+                if self.wal_everywhere { ", everywhere" } else { "" }
             ));
         }
         cell
@@ -519,7 +536,7 @@ impl Scenario {
         format!(
             "Scenario::new(TopologySpec::{:?}, {faults}, {scheduler}, {}).waves({})\
              .blocks_per_process({}).txs_per_block({}).max_steps({}).snapshot_every({})\
-             .storage(StorageSpec::{:?}).prune_wal({})",
+             .storage(StorageSpec::{:?}).prune_wal({}).wal_everywhere({})",
             self.topology,
             self.seed,
             self.waves,
@@ -528,7 +545,8 @@ impl Scenario {
             self.max_steps,
             self.snapshot_every,
             self.storage,
-            self.prune_wal
+            self.prune_wal,
+            self.wal_everywhere
         )
     }
 }
@@ -663,6 +681,16 @@ mod tests {
         for needle in ["wal=(powerloss-mem(seed=3)", "every=8", "prune=true"] {
             assert!(cell.contains(needle), "{cell} missing {needle}");
         }
+        assert!(!cell.contains("everywhere"), "{cell}");
+        // The all-pruned axis names itself even without a restart fault.
+        let all = Scenario::new(
+            TopologySpec::UniformThreshold { n: 4, f: 1 },
+            FaultPlan::none(),
+            SchedulerSpec::Fifo,
+            1,
+        )
+        .wal_everywhere(true);
+        assert!(all.cell().contains("everywhere"), "{}", all.cell());
     }
 
     #[test]
@@ -713,7 +741,8 @@ mod tests {
         .max_steps(500000000)
         .snapshot_every(64)
         .storage(StorageSpec::Mem)
-        .prune_wal(true);
+        .prune_wal(true)
+        .wal_everywhere(false);
         assert_eq!(rebuilt, scenario);
         assert_eq!(
             scenario.repro(),
@@ -721,7 +750,7 @@ mod tests {
              FaultPlan::new([(2, Fault::Mute), (5, Fault::Byzantine(ByzAttack::ConfirmFlood))]), \
              SchedulerSpec::TargetedDelay { victims: vec![0, 1] }, 13).waves(5)\
              .blocks_per_process(1).txs_per_block(2).max_steps(500000000).snapshot_every(64)\
-             .storage(StorageSpec::Mem).prune_wal(true)"
+             .storage(StorageSpec::Mem).prune_wal(true).wal_everywhere(false)"
         );
         assert_eq!(
             Scenario::new(
@@ -733,11 +762,13 @@ mod tests {
             .storage(StorageSpec::PowerlossFile { seed: 9 })
             .snapshot_every(0)
             .prune_wal(false)
+            .wal_everywhere(true)
             .repro(),
             "Scenario::new(TopologySpec::UniformThreshold { n: 4, f: 1 }, FaultPlan::none(), \
              SchedulerSpec::Random, 7).waves(6).blocks_per_process(1).txs_per_block(2)\
              .max_steps(500000000).snapshot_every(0)\
-             .storage(StorageSpec::PowerlossFile { seed: 9 }).prune_wal(false)"
+             .storage(StorageSpec::PowerlossFile { seed: 9 }).prune_wal(false)\
+             .wal_everywhere(true)"
         );
     }
 

@@ -73,6 +73,19 @@ pub enum DagEvent<B> {
         /// Rounds at or below this may be missing delivered vertices.
         up_to_round: Round,
     },
+    /// The block content of a delivered vertex whose full vertex is *not*
+    /// in this process's DAG — the transferable residue of pruning (the
+    /// edges are dropped, the output is kept) and of a delivered-state
+    /// install (the vertex was never received at all). Retaining these is
+    /// what lets a pruned process serve deep catch-up as certified outputs
+    /// instead of DAG vertices, and replaying them rebuilds the
+    /// transferable store.
+    DeliveredBlock {
+        /// The delivered vertex this block belonged to.
+        id: VertexId,
+        /// Its block payload.
+        block: B,
+    },
 }
 
 const TAG_VERTEX: u8 = 1;
@@ -80,6 +93,7 @@ const TAG_CONFIRMED: u8 = 2;
 const TAG_DECIDED: u8 = 3;
 const TAG_DELIVERED: u8 = 4;
 const TAG_PRUNED: u8 = 5;
+const TAG_DELIVERED_BLOCK: u8 = 6;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -176,6 +190,14 @@ impl<B: BlockCodec> DagEvent<B> {
                 out.push(TAG_PRUNED);
                 put_u64(&mut out, *up_to_round);
             }
+            DagEvent::DeliveredBlock { id, block } => {
+                out.push(TAG_DELIVERED_BLOCK);
+                put_vid(&mut out, *id);
+                let mut bytes = Vec::new();
+                block.encode_block(&mut bytes);
+                put_u64(&mut out, bytes.len() as u64);
+                out.extend_from_slice(&bytes);
+            }
         }
         out
     }
@@ -234,6 +256,14 @@ impl<B: BlockCodec> DagEvent<B> {
             TAG_DECIDED => DagEvent::WaveDecided { wave: r.u64()?, leader: r.vid()? },
             TAG_DELIVERED => DagEvent::BlockDelivered { id: r.vid()?, wave: r.u64()? },
             TAG_PRUNED => DagEvent::Pruned { up_to_round: r.u64()? },
+            TAG_DELIVERED_BLOCK => {
+                let id = r.vid()?;
+                let block_len = usize::try_from(r.u64()?).ok()?;
+                if block_len > r.remaining() {
+                    return None;
+                }
+                DagEvent::DeliveredBlock { id, block: B::decode_block(r.take(block_len)?)? }
+            }
             _ => return None,
         };
         (r.remaining() == 0).then_some(event)
@@ -256,9 +286,10 @@ impl<B: BlockCodec> DagEvent<B> {
 ///   before broadcasting it, or a restart would mint a *different* vertex
 ///   for an already-used round (honest equivocation);
 /// * decisions and deliveries ([`DagEvent::WaveDecided`],
-///   [`DagEvent::BlockDelivered`]) — barriers: they are persisted *before*
-///   the delivery is handed to the environment, and a delivery the
-///   application saw must survive the crash or it would be re-delivered;
+///   [`DagEvent::BlockDelivered`], [`DagEvent::DeliveredBlock`]) —
+///   barriers: they are persisted *before* the delivery is handed to the
+///   environment, and a delivery the application saw must survive the
+///   crash or it would be re-delivered;
 /// * malformed payloads and [`DagEvent::Pruned`] markers — barriers
 ///   (conservative: never widen the damage window on bytes we do not
 ///   understand).
@@ -301,6 +332,8 @@ mod tests {
             DagEvent::WaveDecided { wave: 2, leader: VertexId::new(5, pid(1)) },
             DagEvent::BlockDelivered { id: VertexId::new(4, pid(2)), wave: 2 },
             DagEvent::Pruned { up_to_round: 8 },
+            DagEvent::DeliveredBlock { id: VertexId::new(3, pid(1)), block: vec![9, 8, 7] },
+            DagEvent::DeliveredBlock { id: VertexId::new(2, pid(0)), block: vec![] },
         ];
         for ev in events {
             let bytes = ev.encode();
@@ -363,6 +396,9 @@ mod tests {
             DagEvent::<Vec<u8>>::BlockDelivered { id: VertexId::new(4, pid(0)), wave: 1 };
         assert!(!payload_is_volatile(&delivered.encode(), me));
         assert!(!payload_is_volatile(&DagEvent::<Vec<u8>>::Pruned { up_to_round: 4 }.encode(), me));
+        let residue =
+            DagEvent::<Vec<u8>>::DeliveredBlock { id: VertexId::new(2, pid(1)), block: vec![1] };
+        assert!(!payload_is_volatile(&residue.encode(), me), "transferable residue is a barrier");
         // Garbage: a barrier, never widening the damage window.
         assert!(!payload_is_volatile(&[], me));
         assert!(!payload_is_volatile(&[99, 1, 2], me));

@@ -37,7 +37,12 @@
 //! The consensus crate (`asym-core`) implements [`BlockCodec`] for its
 //! block type and drives the log from its insert/deliver/decide hooks; the
 //! scenario harness (`asym-scenarios`) turns all of this into a restart
-//! fault axis with recovery-specific invariant checkers.
+//! fault axis with recovery-specific invariant checkers. The end-to-end
+//! persistence & recovery lifecycle — including the emit/replay/checker
+//! table for every [`DagEvent`] variant and the delivered-state-transfer
+//! path that serves deep laggards once everyone prunes — is documented in
+//! `docs/ARCHITECTURE.md` at the repository root (CI keeps that table in
+//! sync with the enum).
 //!
 //! # Example: log, crash, replay
 //!

@@ -11,10 +11,10 @@
 //! skipped), so a crash between "write snapshot" and "truncate log" still
 //! recovers.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::marker::PhantomData;
 
-use asym_dag::{DagError, DagStore, Round, VertexId, WaveId};
+use asym_dag::{DagError, DagStore, Round, Vertex, VertexId, WaveId};
 use asym_quorum::ProcessId;
 
 use crate::backend::{Storage, StorageError};
@@ -184,6 +184,16 @@ pub struct RecoveredState<B> {
     /// Every vertex already atomically delivered — the set that prevents
     /// double delivery across the restart.
     pub delivered: BTreeSet<VertexId>,
+    /// For each delivered vertex, the wave whose commit ordered it — the
+    /// per-wave grouping delivered-state transfer segments ship. `0` only
+    /// for deliveries recorded before wave tags were persisted (none in a
+    /// log written by this version).
+    pub delivered_waves: BTreeMap<VertexId, WaveId>,
+    /// Block payloads of delivered vertices *absent from the DAG* (pruned
+    /// after delivery, or installed via delivered-state transfer without
+    /// ever receiving the vertex) — the transferable residue this process
+    /// can still serve to deep laggards.
+    pub delivered_blocks: BTreeMap<VertexId, B>,
     /// The commit log of `(wave, leader)` pairs, in commit order.
     pub commit_log: Vec<(WaveId, VertexId)>,
     /// The last decided wave.
@@ -224,6 +234,8 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
             dag: DagStore::with_genesis(n, genesis),
             own_round: 0,
             delivered: BTreeSet::new(),
+            delivered_waves: BTreeMap::new(),
+            delivered_blocks: BTreeMap::new(),
             commit_log: Vec::new(),
             decided_wave: 0,
             confirmed_waves: BTreeSet::new(),
@@ -289,13 +301,22 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
                     }
                     state.decided_wave = state.decided_wave.max(*wave);
                 }
-                DagEvent::BlockDelivered { id, .. } => {
+                DagEvent::BlockDelivered { id, wave } => {
                     state.delivered.insert(*id);
+                    // Keep the strongest wave tag seen (snapshot/log overlap
+                    // after a mid-compaction crash may record both).
+                    let tag = state.delivered_waves.entry(*id).or_insert(*wave);
+                    if *tag == 0 {
+                        *tag = *wave;
+                    }
                 }
                 DagEvent::Pruned { up_to_round } => {
                     // Floor metadata (the pruned *ids* were reconstructed
                     // in the pre-pass above).
                     state.dag.set_pruned_floor(*up_to_round);
+                }
+                DagEvent::DeliveredBlock { id, block } => {
+                    state.delivered_blocks.insert(*id, block.clone());
                 }
             }
         }
@@ -323,22 +344,30 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
             &self.dag,
             self.confirmed_waves.iter().copied(),
             &self.commit_log,
-            self.delivered.iter().copied(),
+            self.delivered
+                .iter()
+                .map(|id| (*id, self.delivered_waves.get(id).copied().unwrap_or(0))),
+            self.delivered_blocks.iter().map(|(id, b)| (*id, b.clone())),
         )
     }
 
     /// Garbage-collects the delivered prefix: drops every *delivered*
-    /// vertex in rounds `<= up_to_round` from the DAG and ratchets the
-    /// pruning floor. The delivered set, commit log and confirmed waves are
-    /// untouched — they are what keeps re-delivery impossible — so replay
-    /// of a subsequently compacted snapshot reproduces exactly this state.
+    /// vertex in rounds `<= up_to_round` from the DAG (retaining each
+    /// pruned vertex's block in [`RecoveredState::delivered_blocks`], so
+    /// the delivered prefix stays transferable as certified outputs) and
+    /// ratchets the pruning floor. The delivered set, commit log and
+    /// confirmed waves are untouched — they are what keeps re-delivery
+    /// impossible — so replay of a subsequently compacted snapshot
+    /// reproduces exactly this state.
     /// Undelivered old vertices are retained: they may still enter a later
     /// leader's causal history via weak edges (and every path to an
     /// undelivered vertex runs through undelivered vertices only — a
     /// delivered intermediate would have delivered its whole ancestry —
     /// so pruning the delivered set can never hide one).
     pub fn prune_delivered(&mut self, up_to_round: Round) {
-        prune_dag(&mut self.dag, &self.delivered, up_to_round);
+        for v in prune_dag(&mut self.dag, &self.delivered, up_to_round) {
+            self.delivered_blocks.insert(v.id(), v.into_block());
+        }
         self.pruned_round = self.dag.pruned_floor();
     }
 }
@@ -346,19 +375,28 @@ impl<B: BlockCodec + Clone> RecoveredState<B> {
 /// Drops every *delivered* vertex in rounds `<= up_to_round` from `dag`,
 /// recording each pruned identity — the in-place half of WAL pruning,
 /// shared by [`RecoveredState::prune_delivered`] and live snapshot
-/// compaction. Undelivered old vertices are untouched.
-pub fn prune_dag<B>(dag: &mut DagStore<B>, delivered: &BTreeSet<VertexId>, up_to_round: Round) {
+/// compaction. Undelivered old vertices are untouched. Returns the pruned
+/// vertices so the caller can harvest their blocks into a transferable
+/// delivered-state store (dropping them entirely would make the delivered
+/// prefix unservable to deep laggards).
+pub fn prune_dag<B>(
+    dag: &mut DagStore<B>,
+    delivered: &BTreeSet<VertexId>,
+    up_to_round: Round,
+) -> Vec<Vertex<B>> {
     if up_to_round == 0 {
-        return;
+        return Vec::new();
     }
     let prunable: Vec<VertexId> = (1..=up_to_round.min(dag.max_round().unwrap_or(0)))
         .flat_map(|r| dag.vertices_in_round(r).map(|v| v.id()).collect::<Vec<_>>())
         .filter(|id| delivered.contains(id))
         .collect();
+    let mut pruned = Vec::with_capacity(prunable.len());
     for id in prunable {
-        dag.prune(id);
+        pruned.extend(dag.prune(id));
     }
     dag.set_pruned_floor(up_to_round);
+    pruned
 }
 
 /// Compacts consensus state into the canonical snapshot event sequence —
@@ -368,14 +406,17 @@ pub fn prune_dag<B>(dag: &mut DagStore<B>, delivered: &BTreeSet<VertexId>, up_to
 /// (non-zero [`DagStore::pruned_floor`]) leads with its
 /// [`DagEvent::Pruned`] marker; then vertices in `(round, source)` order
 /// (parents always precede children), then the confirmed waves and the
-/// commit log in order, then the delivered set (sorted; the ordering wave
-/// is not part of the durable delivered set, so it is stored as `0` and
-/// ignored on replay).
+/// commit log in order, then the delivered set (sorted, each entry tagged
+/// with the wave whose commit ordered it — the grouping delivered-state
+/// transfer serves), then the transferable block residue
+/// ([`DagEvent::DeliveredBlock`], sorted) of delivered vertices absent
+/// from the DAG.
 pub fn snapshot_events<B: Clone>(
     dag: &DagStore<B>,
     confirmed_waves: impl IntoIterator<Item = WaveId>,
     commit_log: &[(WaveId, VertexId)],
-    delivered: impl IntoIterator<Item = VertexId>,
+    delivered: impl IntoIterator<Item = (VertexId, WaveId)>,
+    delivered_blocks: impl IntoIterator<Item = (VertexId, B)>,
 ) -> Vec<DagEvent<B>> {
     let mut events = Vec::new();
     if dag.pruned_floor() > 0 {
@@ -394,10 +435,18 @@ pub fn snapshot_events<B: Clone>(
     for (wave, leader) in commit_log {
         events.push(DagEvent::WaveDecided { wave: *wave, leader: *leader });
     }
-    let mut delivered: Vec<VertexId> = delivered.into_iter().collect();
-    delivered.sort_unstable();
-    for id in delivered {
-        events.push(DagEvent::BlockDelivered { id, wave: 0 });
+    let mut delivered: Vec<(VertexId, WaveId)> = delivered.into_iter().collect();
+    delivered.sort_unstable_by_key(|(id, _)| *id);
+    for (id, wave) in delivered {
+        events.push(DagEvent::BlockDelivered { id, wave });
+    }
+    // The residue only covers vertices the DAG no longer (or never) held —
+    // blocks of stored vertices ride along inside VertexInserted.
+    let mut residue: Vec<(VertexId, B)> =
+        delivered_blocks.into_iter().filter(|(id, _)| !dag.contains(*id)).collect();
+    residue.sort_unstable_by_key(|(id, _)| *id);
+    for (id, block) in residue {
+        events.push(DagEvent::DeliveredBlock { id, block });
     }
     events
 }

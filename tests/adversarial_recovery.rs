@@ -254,6 +254,60 @@ fn pruned_and_unpruned_cells_agree_on_what_fault_free_processes_deliver() {
 }
 
 #[test]
+fn restart_under_churn_overlapping_down_windows() {
+    // ROADMAP gap "restart under churn", half one: two processes whose
+    // down-windows overlap — p1 is still down when p2 crashes, and p2
+    // recovers (replays, refetches) while p1 is itself mid-recovery, so
+    // each one's catch-up traffic races the other's. Pinned across the
+    // tier-1 schedulers; the full suite (incl. both restart checkers and
+    // WAL/state equivalence for both processes) must hold.
+    for (scheduler, seed) in [
+        (SchedulerSpec::Random, 3),
+        (SchedulerSpec::Fifo, 1),
+        (SchedulerSpec::TargetedDelay { victims: vec![0] }, 2),
+    ] {
+        let cell = Scenario::new(
+            TopologySpec::UniformThreshold { n: 7, f: 2 },
+            FaultPlan::new([
+                (1, Fault::Restart { crash_at: 100, recover_at: 1100 }),
+                (2, Fault::Restart { crash_at: 300, recover_at: 900 }),
+            ]),
+            scheduler,
+            seed,
+        );
+        let outcome = checks::run_and_check_all(&cell).unwrap_or_else(|e| panic!("{e}"));
+        for i in [1, 2] {
+            assert!(outcome.restart_fired[i], "{}: p{i}'s window never opened", cell.cell());
+            assert!(outcome.recovered[i], "{}: p{i} never replayed its log", cell.cell());
+            assert!(!outcome.outputs[i].is_empty(), "{}: p{i} delivered nothing", cell.cell());
+        }
+    }
+}
+
+#[test]
+fn restart_races_the_partition_heal() {
+    // ROADMAP gap "restart under churn", half two: a restart whose
+    // recover_at lands right at the partition's heal step — the replayed
+    // process rejoins into a network still flushing cross-group backlog.
+    // Swept just-before, at, and just-after the heal.
+    for recover_at in [590, 600, 610] {
+        let cell = Scenario::new(
+            TopologySpec::UniformThreshold { n: 7, f: 2 },
+            FaultPlan::none().with(1, Fault::Restart { crash_at: 100, recover_at }),
+            SchedulerSpec::Partition {
+                groups: vec![vec![0, 1, 2], vec![3, 4, 5, 6]],
+                heal_at: 600,
+            },
+            5,
+        );
+        let outcome = checks::run_and_check_all(&cell).unwrap_or_else(|e| panic!("{e}"));
+        if outcome.restart_fired[1] {
+            assert!(outcome.recovered[1], "{}: fired but never replayed", cell.cell());
+        }
+    }
+}
+
+#[test]
 fn starvation_scheduler_cells_pass_after_the_flush() {
     // Satellite: the `scheduler::Filtered`-style starvation axis was
     // untestable because it never quiesces; the runner now flushes starved
